@@ -1,0 +1,35 @@
+"""Benchmark fixtures.
+
+Benchmarks run the experiment analyses at SMALL scale with the expensive
+fixtures (library, topology, measurement campaign) pre-built, so the
+timed region is the figure's computation itself. Each benchmark also
+asserts the figure's qualitative shape, so `pytest benchmarks/` doubles
+as a reproduction check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import (
+    SMALL_SCALE,
+    get_campaign,
+    get_library,
+    get_network,
+    get_workload,
+)
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SMALL_SCALE
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_fixtures(scale):
+    """Build the shared simulation state once, before any timing."""
+    get_library(scale)
+    get_network(scale)
+    get_workload(scale)
+    get_campaign(scale)
+    return None

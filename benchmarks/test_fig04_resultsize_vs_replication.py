@@ -1,0 +1,9 @@
+"""Bench fig04: result-set size vs average replication factor."""
+
+from repro.experiments import fig04_replication
+
+
+def test_fig04(benchmark, scale):
+    result = benchmark(fig04_replication.run, scale)
+    factors = result.column("avg_replication_factor")
+    assert factors[0] * 3 < max(factors)

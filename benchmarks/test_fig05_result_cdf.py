@@ -1,0 +1,11 @@
+"""Bench fig05: result-size CDF, single node vs Union-of-30."""
+
+from repro.experiments import fig05_result_cdf
+
+
+def test_fig05(benchmark, scale):
+    result = benchmark(fig05_result_cdf.run, scale)
+    single = result.column(result.columns[1])
+    union = result.column(result.columns[2])
+    assert all(u <= s + 1e-9 for s, u in zip(single, union))
+    assert single == sorted(single)

@@ -1,0 +1,10 @@
+"""Bench fig06: result-size CDF (<=20) for unions of 5/15/25/30."""
+
+from repro.experiments import fig06_union_cdf
+
+
+def test_fig06(benchmark, scale):
+    result = benchmark(fig06_union_cdf.run, scale)
+    for row in result.rows:
+        unions = list(row[2:])
+        assert all(a >= b - 1e-9 for a, b in zip(unions, unions[1:]))

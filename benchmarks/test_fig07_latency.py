@@ -1,0 +1,10 @@
+"""Bench fig07: result-set size vs first-result latency."""
+
+from repro.experiments import fig07_latency
+
+
+def test_fig07(benchmark, scale):
+    result = benchmark(fig07_latency.run, scale)
+    latencies = result.column("avg_first_result_latency_s")
+    # The paper's asymmetry: rare queries are an order of magnitude slower.
+    assert latencies[0] > latencies[-1] * 3

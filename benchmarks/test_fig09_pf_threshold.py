@@ -1,0 +1,13 @@
+"""Bench fig09: PF_threshold vs replica threshold (analytical model)."""
+
+import pytest
+
+from repro.experiments import fig09_pf_threshold
+
+
+def test_fig09(benchmark, scale):
+    result = benchmark(fig09_pf_threshold.run, scale)
+    assert result.rows[0][1] == pytest.approx(0.05, abs=0.01)
+    for column in (1, 2, 3):
+        values = [row[column] for row in result.rows]
+        assert values == sorted(values)

@@ -1,0 +1,11 @@
+"""Bench fig10: publishing overhead vs replica threshold."""
+
+from repro.experiments import fig10_publish_overhead
+
+
+def test_fig10(benchmark, scale):
+    result = benchmark(fig10_publish_overhead.run, scale)
+    at_one = result.rows[1][1]
+    assert 15.0 < at_one < 32.0  # paper: 23% of items at threshold 1
+    values = result.column("pct_items_published")
+    assert values == sorted(values)

@@ -1,0 +1,13 @@
+"""Bench fig12: average QDR vs replica threshold."""
+
+from repro.experiments import fig11_qr, fig12_qdr
+
+
+def test_fig12(benchmark, scale):
+    result = benchmark(fig12_qdr.run, scale)
+    qr = fig11_qr.run(scale)
+    for qr_row, qdr_row in zip(qr.rows[1:], result.rows[1:]):
+        for column in (1, 2, 3):
+            assert qdr_row[column] >= qr_row[column] - 1e-6
+    # paper: ~93% QDR at threshold 2 with a 15% horizon
+    assert result.rows[2][2] > 75.0

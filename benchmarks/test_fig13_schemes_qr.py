@@ -1,0 +1,13 @@
+"""Bench fig13: rare-item scheme comparison on QR."""
+
+from repro.experiments import fig13_schemes_qr
+
+
+def test_fig13(benchmark, scale):
+    result = benchmark(fig13_schemes_qr.run, scale)
+    by_budget = {row[0]: row for row in result.rows}
+    low = by_budget[20.0]
+    perfect, _, tpf, _, rand = low[1:6]
+    assert perfect > rand  # informed beats random in the paper's regime
+    assert tpf > rand
+    assert all(v == 100.0 or abs(v - 100.0) < 1e-6 for v in result.rows[-1][1:])

@@ -1,0 +1,13 @@
+"""Bench fig14: rare-item scheme comparison on QDR."""
+
+from repro.experiments import fig14_schemes_qdr
+
+
+def test_fig14(benchmark, scale):
+    result = benchmark(fig14_schemes_qdr.run, scale)
+    by_budget = {row[0]: row for row in result.rows}
+    low = by_budget[20.0]
+    perfect, rand = low[1], low[5]
+    assert perfect >= rand - 1e-9
+    # QDR at zero budget equals the flooding-only baseline for all schemes.
+    assert len(set(result.rows[0][1:])) == 1

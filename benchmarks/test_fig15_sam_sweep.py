@@ -1,0 +1,16 @@
+"""Bench fig15: SAM sample-rate sweep."""
+
+import pytest
+
+from repro.experiments import fig13_schemes_qr, fig15_sam_sweep
+
+
+def test_fig15(benchmark, scale):
+    result = benchmark(fig15_sam_sweep.run, scale)
+    # SAM(100%) coincides with Perfect (same rarity scores).
+    perfect = fig13_schemes_qr.run(scale).column("Perfect")
+    sam100 = result.column("SAM(100%)")
+    for a, b in zip(sam100, perfect):
+        assert a == pytest.approx(b, abs=2.0)
+    # All variants meet at 100% budget.
+    assert len({round(v, 6) for v in result.rows[-1][1:]}) == 1

@@ -1,0 +1,17 @@
+"""Bench sec4: the Gnutella measurement summary table."""
+
+from repro.experiments import sec4_summary
+
+
+def test_sec4_summary(benchmark, scale):
+    result = benchmark(sec4_summary.run, scale)
+    rows = {row[0]: row for row in result.rows}
+    single_zero = rows["pct queries 0 results (single)"][2]
+    union_zero = [
+        row for name, row in rows.items()
+        if name.startswith("pct queries 0 results (union")
+    ][0][2]
+    assert union_zero < single_zero
+    lat_one = rows["first-result latency, 1 result (s)"][2]
+    lat_big = rows["first-result latency, >150 results (s)"][2]
+    assert lat_one > 3 * lat_big

@@ -1,0 +1,13 @@
+"""Bench sec7: reduction in no-result queries from the partial deployment."""
+
+from repro.experiments import sec7_deployment
+
+
+def test_sec7_noresult_reduction(benchmark, scale):
+    report = benchmark(sec7_deployment.get_report, scale, False)
+    # Paper: partial deployment cuts no-result queries by ~18%,
+    # against a ~66% potential with full rare-item indexing.
+    assert report.hybrid_no_result_fraction <= report.gnutella_no_result_fraction
+    assert report.no_result_reduction >= 0.0
+    assert report.no_result_reduction <= report.potential_reduction + 1e-9
+    assert report.files_published > 0

@@ -1,0 +1,42 @@
+"""Bench sec7: publish bandwidth per file (3.5 KB plain / 4 KB cache)."""
+
+import pytest
+
+from repro.dht.network import DhtNetwork
+from repro.pier.catalog import Catalog
+from repro.piersearch.publisher import Publisher
+from repro.workload.library import ContentLibrary
+
+
+@pytest.fixture(scope="module")
+def corpus_files():
+    library = ContentLibrary.generate(
+        num_items=150, vocabulary_size=400, max_replicas=30, rng=201
+    )
+    placement = library.place(list(range(500)), rng=202)
+    files = [f for files in placement.files_by_node.values() for f in files]
+    return files[:300]
+
+
+def publish_all(files, inverted_cache):
+    network = DhtNetwork(rng=203)
+    network.populate(50)
+    catalog = Catalog(network)
+    publisher = Publisher(network, catalog, inverted_cache=inverted_cache)
+    for file in files:
+        publisher.publish_file(file.filename, file.filesize, file.ip_address, file.port)
+    return publisher
+
+
+def test_sec7_publish_bandwidth(benchmark, corpus_files):
+    publisher = benchmark(publish_all, corpus_files, False)
+    kb = publisher.average_bytes_per_file / 1024
+    assert 2.0 < kb < 6.5  # paper: ~3.5 KB/file
+
+
+def test_sec7_publish_bandwidth_inverted_cache(benchmark, corpus_files):
+    publisher = benchmark(publish_all, corpus_files, True)
+    kb = publisher.average_bytes_per_file / 1024
+    plain = publish_all(corpus_files, False)
+    assert kb > plain.average_bytes_per_file / 1024  # paper: 4.0 > 3.5
+    assert kb < 8.0

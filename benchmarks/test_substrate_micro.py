@@ -1,0 +1,81 @@
+"""Micro-benchmarks for the substrates: DHT routing, flooding, SHJ,
+publishing. These time the primitives every experiment is built from."""
+
+import random
+
+import pytest
+
+from repro.dht.network import DhtNetwork
+from repro.gnutella.flooding import flood
+from repro.gnutella.topology import TopologyConfig, build_topology
+from repro.pier.catalog import Catalog
+from repro.pier.operators import Scan, SymmetricHashJoin
+from repro.piersearch.publisher import Publisher
+
+
+@pytest.fixture(scope="module")
+def dht():
+    network = DhtNetwork(rng=301)
+    network.populate(256)
+    return network
+
+
+def test_dht_lookup(benchmark, dht):
+    rng = random.Random(302)
+    keys = [rng.getrandbits(160) for _ in range(100)]
+
+    def lookups():
+        return [dht.lookup(key) for key in keys]
+
+    results = benchmark(lookups)
+    assert all(r.owner == dht.owner_of(r.key) for r in results)
+
+
+def test_dht_put_get(benchmark, dht):
+    counter = iter(range(10**9))
+
+    def roundtrip():
+        i = next(counter)
+        dht.put(f"bench-key-{i}", i)
+        return dht.get(f"bench-key-{i}")
+
+    values = benchmark(roundtrip)
+    assert values
+
+
+def test_flood_800_ultrapeers(benchmark):
+    topology = build_topology(TopologyConfig(num_ultrapeers=800, num_leaves=0, seed=303))
+
+    def one_flood():
+        return flood(topology, {}, topology.ultrapeers[0], ["x"], ttl=4)
+
+    result = benchmark(one_flood)
+    assert len(result.visited) > 100
+
+
+def test_symmetric_hash_join_10k(benchmark):
+    left = [{"fileID": i % 2000, "side": "l"} for i in range(10_000)]
+    right = [{"fileID": i % 2000, "side": "r"} for i in range(10_000)]
+
+    def join():
+        return sum(1 for _ in SymmetricHashJoin(Scan(left), Scan(right), "fileID"))
+
+    count = benchmark(join)
+    assert count == 50_000  # 2000 keys x 5 x 5 matches
+
+
+def test_publisher_throughput(benchmark):
+    network = DhtNetwork(rng=304)
+    network.populate(64)
+    catalog = Catalog(network)
+    publisher = Publisher(network, catalog)
+    counter = iter(range(10**9))
+
+    def publish_one():
+        i = next(counter)
+        return publisher.publish_file(
+            f"bench artist{i % 97} - track number{i}.mp3", i, f"10.0.{i % 255}.1", 6346
+        )
+
+    receipt = benchmark(publish_one)
+    assert receipt.tuples_published >= 1

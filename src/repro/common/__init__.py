@@ -1,0 +1,62 @@
+"""Shared primitives used by every subsystem.
+
+This package hosts the small building blocks the rest of the reproduction
+relies on: 160-bit identifiers and hashing (:mod:`repro.common.ids`),
+deterministic random-number helpers (:mod:`repro.common.rng`), long-tailed
+distribution samplers (:mod:`repro.common.zipf`), the wire-cost model
+(:mod:`repro.common.units`) and the exception hierarchy
+(:mod:`repro.common.errors`).
+"""
+
+from repro.common.errors import (
+    ReproError,
+    DhtError,
+    KeyNotFoundError,
+    NodeNotFoundError,
+    PlanError,
+    SchemaError,
+    WorkloadError,
+)
+from repro.common.ids import (
+    KEY_BITS,
+    KEY_SPACE,
+    NodeId,
+    hash_key,
+    hash_to_int,
+    ring_distance,
+    in_interval,
+)
+from repro.common.rng import make_rng, spawn_rng
+from repro.common.units import (
+    BYTES_PER_KB,
+    CostModel,
+    DEFAULT_COST_MODEL,
+    MessageCost,
+)
+from repro.common.zipf import ZipfSampler, long_tail_replica_counts, zipf_weights
+
+__all__ = [
+    "ReproError",
+    "DhtError",
+    "KeyNotFoundError",
+    "NodeNotFoundError",
+    "PlanError",
+    "SchemaError",
+    "WorkloadError",
+    "KEY_BITS",
+    "KEY_SPACE",
+    "NodeId",
+    "hash_key",
+    "hash_to_int",
+    "ring_distance",
+    "in_interval",
+    "make_rng",
+    "spawn_rng",
+    "BYTES_PER_KB",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "MessageCost",
+    "ZipfSampler",
+    "long_tail_replica_counts",
+    "zipf_weights",
+]

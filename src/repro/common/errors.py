@@ -1,0 +1,33 @@
+"""Exception hierarchy for the reproduction.
+
+Every package raises subclasses of :class:`ReproError` so callers can catch
+library failures without also swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DhtError(ReproError):
+    """Base class for DHT failures."""
+
+
+class KeyNotFoundError(DhtError):
+    """A DHT ``get`` found no value stored under the requested key."""
+
+
+class NodeNotFoundError(DhtError):
+    """An operation referenced a node id that is not part of the network."""
+
+
+class SchemaError(ReproError):
+    """A tuple did not conform to its table schema."""
+
+
+class PlanError(ReproError):
+    """A query plan was malformed or could not be executed."""
+
+
+class WorkloadError(ReproError):
+    """Workload or trace generation was asked for something impossible."""

@@ -1,0 +1,82 @@
+"""Churn driver for the DHT.
+
+P2P networks see continuous node arrival and departure ("churn"); the
+Bamboo DHT the paper deploys on was designed specifically to handle it
+[Rhea et al. 2004]. This driver applies join/leave events to a
+:class:`~repro.dht.network.DhtNetwork` either in bulk (for trace-style
+experiments) or scheduled on a simulator clock.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.common.rng import make_rng
+from repro.dht.network import DhtNetwork
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class ChurnStats:
+    joins: int = 0
+    leaves: int = 0
+    failures: int = 0
+
+
+class ChurnProcess:
+    """Applies churn to a DHT network.
+
+    ``failure_fraction`` of departures are abrupt failures (no key
+    handoff); the rest are graceful leaves.
+    """
+
+    def __init__(
+        self,
+        network: DhtNetwork,
+        rng: random.Random | int | None = None,
+        failure_fraction: float = 0.5,
+    ):
+        if not 0.0 <= failure_fraction <= 1.0:
+            raise ValueError(f"failure_fraction must be in [0,1], got {failure_fraction}")
+        self.network = network
+        self.rng = make_rng(rng)
+        self.failure_fraction = failure_fraction
+        self.stats = ChurnStats()
+
+    def churn_step(self, joins: int = 1, leaves: int = 1) -> None:
+        """Apply ``joins`` arrivals and ``leaves`` departures, then stabilize."""
+        for _ in range(leaves):
+            if self.network.size <= 1:
+                break
+            victim = self.network.random_node_id()
+            graceful = self.rng.random() >= self.failure_fraction
+            self.network.remove_node(victim, graceful=graceful)
+            if graceful:
+                self.stats.leaves += 1
+            else:
+                self.stats.failures += 1
+        for _ in range(joins):
+            self.network.create_node()
+            self.stats.joins += 1
+        self.network.stabilize()
+
+    def run_session_churn(self, turnover_fraction: float) -> None:
+        """Replace ``turnover_fraction`` of the network (size preserved)."""
+        count = int(self.network.size * turnover_fraction)
+        self.churn_step(joins=count, leaves=count)
+
+    def schedule(
+        self,
+        sim: Simulator,
+        interval: float,
+        steps: int,
+        joins_per_step: int = 1,
+        leaves_per_step: int = 1,
+    ) -> None:
+        """Schedule periodic churn steps on a simulator clock."""
+        for step in range(1, steps + 1):
+            sim.schedule(
+                interval * step,
+                lambda j=joins_per_step, l=leaves_per_step: self.churn_step(j, l),
+            )

@@ -1,0 +1,43 @@
+"""Ring arithmetic shared by DHT nodes and the network facade."""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Sequence
+
+from repro.common.ids import KEY_BITS, KEY_SPACE
+
+
+def finger_start(node_id: int, index: int) -> int:
+    """Start of finger ``index`` for ``node_id``: (n + 2^index) mod 2^160."""
+    if not 0 <= index < KEY_BITS:
+        raise ValueError(f"finger index {index} outside [0, {KEY_BITS})")
+    return (node_id + (1 << index)) % KEY_SPACE
+
+
+def responsible_node(sorted_ids: Sequence[int], key: int) -> int:
+    """The node responsible for ``key``: its successor on the ring.
+
+    ``sorted_ids`` must be sorted ascending. Chord assigns each key to the
+    first node clockwise from it (wrapping past zero).
+    """
+    if not sorted_ids:
+        raise ValueError("empty ring")
+    key %= KEY_SPACE
+    index = bisect.bisect_left(sorted_ids, key)
+    if index == len(sorted_ids):
+        return sorted_ids[0]
+    return sorted_ids[index]
+
+
+def successor_list(sorted_ids: Sequence[int], node_id: int, count: int) -> list[int]:
+    """The ``count`` nodes clockwise after ``node_id`` (excluding itself)."""
+    if not sorted_ids:
+        return []
+    index = bisect.bisect_right(sorted_ids, node_id)
+    result: list[int] = []
+    n = len(sorted_ids)
+    for offset in range(min(count, n - 1)):
+        result.append(sorted_ids[(index + offset) % n])
+    # Drop self if the ring has wrapped all the way around.
+    return [node for node in result if node != node_id]

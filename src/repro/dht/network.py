@@ -1,0 +1,249 @@
+"""DHT network facade: membership, routing, put/get.
+
+``DhtNetwork`` owns the ring membership and drives per-node routing. All
+data-path operations (lookup, put, get) are routed hop by hop using only
+each node's local finger/successor state and are charged to a
+:class:`~repro.common.units.BandwidthMeter`, so experiments can report the
+message overheads the paper's model predicts (O(log N) per operation).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.common.errors import DhtError, KeyNotFoundError, NodeNotFoundError
+from repro.common.ids import KEY_SPACE, hash_key
+from repro.common.rng import make_rng
+from repro.common.units import BandwidthMeter, CostModel, DEFAULT_COST_MODEL
+from repro.dht.keyspace import responsible_node
+from repro.dht.node import DhtNode
+
+MAX_HOPS_FACTOR = 4  # routing gives up after 4*log2(N)+8 hops
+
+
+@dataclass
+class LookupResult:
+    """Outcome of routing a key to its responsible node."""
+
+    key: int
+    owner: int
+    path: list[int] = field(default_factory=list)
+
+    @property
+    def hops(self) -> int:
+        """Number of overlay messages used (path edges)."""
+        return max(0, len(self.path) - 1)
+
+
+class DhtNetwork:
+    """A complete DHT: nodes, routing, storage, and replication."""
+
+    def __init__(
+        self,
+        replication: int = 1,
+        successor_count: int = 8,
+        cost_model: CostModel | None = None,
+        rng: random.Random | int | None = None,
+    ):
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        self.replication = replication
+        self.successor_count = max(successor_count, replication)
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.rng = make_rng(rng)
+        self.nodes: dict[int, DhtNode] = {}
+        self._ring: list[int] = []  # sorted node ids
+        self.meter = BandwidthMeter()
+        self._stale = False
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def create_node(self, node_id: int | None = None) -> DhtNode:
+        """Add a node with ``node_id`` (random if omitted) to the ring."""
+        if node_id is None:
+            node_id = self.rng.getrandbits(160)
+        if node_id in self.nodes:
+            raise DhtError(f"node id {node_id:x} already present")
+        node = DhtNode(node_id, successor_count=self.successor_count)
+        self.nodes[node_id] = node
+        bisect.insort(self._ring, node_id)
+        self._stale = True
+        return node
+
+    def populate(self, count: int) -> list[DhtNode]:
+        """Create ``count`` nodes with random ids and stabilize the ring."""
+        nodes = [self.create_node() for _ in range(count)]
+        self.stabilize()
+        return nodes
+
+    def remove_node(self, node_id: int, graceful: bool = True) -> None:
+        """Remove a node. A graceful leave hands its keys to the successor;
+        an ungraceful failure loses any data not replicated elsewhere."""
+        node = self.nodes.pop(node_id, None)
+        if node is None:
+            raise NodeNotFoundError(f"unknown node {node_id:x}")
+        index = bisect.bisect_left(self._ring, node_id)
+        self._ring.pop(index)
+        self._stale = True
+        if graceful and self._ring:
+            successor = responsible_node(self._ring, node_id)
+            target = self.nodes[successor]
+            for key, values in node.store.items():
+                for value in values:
+                    target.store.put(key, value, identity=_identity(value))
+        node.alive = False
+
+    def stabilize(self) -> None:
+        """Refresh every node's routing state from the current ring."""
+        for node in self.nodes.values():
+            node.update_routing(self._ring)
+        self._stale = False
+
+    def _ensure_stable(self) -> None:
+        if self._stale:
+            self.stabilize()
+
+    @property
+    def size(self) -> int:
+        return len(self._ring)
+
+    def random_node_id(self) -> int:
+        if not self._ring:
+            raise DhtError("empty network")
+        return self.rng.choice(self._ring)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def owner_of(self, key: int) -> int:
+        """Responsible node for ``key`` (oracle view, no messages charged)."""
+        if not self._ring:
+            raise DhtError("empty network")
+        return responsible_node(self._ring, key % KEY_SPACE)
+
+    def lookup(self, key: int, origin: int | None = None) -> LookupResult:
+        """Route ``key`` from ``origin`` to its owner using local state only.
+
+        Raises :class:`DhtError` if routing does not converge (which, with
+        stabilized tables, should never happen).
+        """
+        self._ensure_stable()
+        if not self._ring:
+            raise DhtError("empty network")
+        key %= KEY_SPACE
+        if origin is None:
+            origin = self.random_node_id()
+        if origin not in self.nodes:
+            raise NodeNotFoundError(f"unknown origin {origin:x}")
+        max_hops = MAX_HOPS_FACTOR * max(1, self.size).bit_length() + 8
+        current = origin
+        path = [current]
+        for _ in range(max_hops):
+            node = self.nodes[current]
+            if node.owns(key):
+                return LookupResult(key=key, owner=current, path=path)
+            next_hop = node.closest_preceding(key)
+            if next_hop is None or next_hop == current:
+                next_hop = node.first_successor()
+            if next_hop is None:
+                return LookupResult(key=key, owner=current, path=path)
+            current = next_hop
+            path.append(current)
+        raise DhtError(f"routing for key {key:x} did not converge in {max_hops} hops")
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def put(
+        self,
+        key_string: str,
+        value: Any,
+        origin: int | None = None,
+        payload_bytes: int = 0,
+        identity: Hashable | None = None,
+        category: str = "dht.put",
+    ) -> LookupResult:
+        """Publish ``value`` under the hash of ``key_string``.
+
+        Charges one message per routing hop plus one per extra replica, each
+        carrying the payload.
+        """
+        key = hash_key(key_string)
+        return self.put_raw(key, value, origin, payload_bytes, identity, category)
+
+    def put_raw(
+        self,
+        key: int,
+        value: Any,
+        origin: int | None = None,
+        payload_bytes: int = 0,
+        identity: Hashable | None = None,
+        category: str = "dht.put",
+    ) -> LookupResult:
+        """Publish under an already-hashed key. See :meth:`put`."""
+        result = self.lookup(key, origin)
+        owner = self.nodes[result.owner]
+        owner.store.put(key, value, identity=identity)
+        self.meter.charge(
+            category,
+            max(1, result.hops),
+            self.cost_model.routed_bytes(payload_bytes, result.hops),
+        )
+        # Replicate to successors of the owner (one direct hop each).
+        replicas = owner.successors[: self.replication - 1]
+        for replica_id in replicas:
+            self.nodes[replica_id].store.put(key, value, identity=identity)
+        if replicas:
+            per_replica = self.cost_model.message_bytes(payload_bytes)
+            self.meter.charge(category, len(replicas), len(replicas) * per_replica)
+        return result
+
+    def get(
+        self,
+        key_string: str,
+        origin: int | None = None,
+        category: str = "dht.get",
+    ) -> list[Any]:
+        """Fetch all values published under ``key_string``.
+
+        Raises :class:`KeyNotFoundError` when nothing is stored there.
+        """
+        key = hash_key(key_string)
+        return self.get_raw(key, origin, category)
+
+    def get_raw(self, key: int, origin: int | None = None, category: str = "dht.get") -> list[Any]:
+        """Fetch by raw ring key. See :meth:`get`."""
+        result = self.lookup(key, origin)
+        values = self.nodes[result.owner].store.get(key)
+        self.meter.charge(
+            category, max(1, result.hops), self.cost_model.routed_bytes(0, result.hops)
+        )
+        if not values:
+            raise KeyNotFoundError(f"no values under key {key:x}")
+        return values
+
+    def get_local(self, node_id: int, key: int) -> list[Any]:
+        """Read a node's local store directly (no messages)."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise NodeNotFoundError(f"unknown node {node_id:x}")
+        return node.store.get(key)
+
+    def total_stored(self) -> int:
+        return sum(len(node.store) for node in self.nodes.values())
+
+
+def _identity(value: Any) -> Hashable:
+    """Best-effort dedup handle for replica handoff."""
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return id(value)

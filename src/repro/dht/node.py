@@ -1,0 +1,83 @@
+"""A single Chord-style DHT node.
+
+Each node knows only its own routing state: a finger table (successor of
+n + 2^i for each i) and a short successor list for fault tolerance.
+Routing decisions use exclusively this local state, so measured hop counts
+are honest Chord hop counts, not artifacts of global knowledge.
+"""
+
+from __future__ import annotations
+
+from repro.common.ids import KEY_BITS, in_interval, ring_distance
+from repro.dht.keyspace import finger_start
+from repro.dht.storage import LocalStore
+
+
+class DhtNode:
+    """State of one DHT node: id, fingers, successors, and local storage."""
+
+    def __init__(self, node_id: int, successor_count: int = 8):
+        self.node_id = node_id
+        self.successor_count = successor_count
+        self.fingers: list[int] = []  # fingers[i] = successor(node_id + 2^i)
+        self.successors: list[int] = []
+        self.predecessor: int | None = None
+        self.store = LocalStore()
+        self.alive = True
+
+    def update_routing(self, sorted_ids: list[int]) -> None:
+        """Refresh fingers and successor list from the current ring.
+
+        This plays the role of Chord's periodic stabilization: in a real
+        deployment each entry would be found via a lookup; here the network
+        facade hands us the (already known) ring membership. Routing itself
+        still uses only this node's table.
+        """
+        from repro.dht.keyspace import responsible_node, successor_list
+
+        self.fingers = []
+        previous = None
+        for index in range(KEY_BITS):
+            target = finger_start(self.node_id, index)
+            owner = responsible_node(sorted_ids, target)
+            # Dedup consecutive identical fingers to keep the table small.
+            if owner != previous:
+                self.fingers.append(owner)
+                previous = owner
+        self.successors = successor_list(sorted_ids, self.node_id, self.successor_count)
+        index = sorted_ids.index(self.node_id)
+        self.predecessor = sorted_ids[index - 1] if len(sorted_ids) > 1 else None
+
+    def owns(self, key: int) -> bool:
+        """True if this node is responsible for ``key``.
+
+        A node owns the interval (predecessor, self].
+        """
+        if self.predecessor is None:
+            return True
+        return in_interval(key, self.predecessor, self.node_id, inclusive_end=True)
+
+    def closest_preceding(self, key: int) -> int | None:
+        """Best next hop for ``key`` from this node's routing state.
+
+        Chooses the routing-table entry that most tightly precedes the key
+        clockwise (classic Chord ``closest_preceding_finger``), falling back
+        to the first successor. Returns None when this node has no better
+        candidate than itself.
+        """
+        best: int | None = None
+        best_distance = ring_distance(self.node_id, key)
+        for candidate in self.fingers + self.successors:
+            if candidate == self.node_id:
+                continue
+            distance = ring_distance(candidate, key)
+            if distance < best_distance:
+                best = candidate
+                best_distance = distance
+        return best
+
+    def first_successor(self) -> int | None:
+        return self.successors[0] if self.successors else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DhtNode({self.node_id:040x})"

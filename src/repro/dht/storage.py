@@ -1,0 +1,61 @@
+"""Per-node key/value storage.
+
+A DHT node stores a multimap from 160-bit keys to opaque values. PIER uses
+this for base tuples (Item, Inverted, InvertedCache) and for temporary
+state created during query execution. Values are kept insertion-ordered
+and deduplicated by equality, mirroring set semantics of a relation with a
+primary key.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator
+
+
+class LocalStore:
+    """Multimap store on one DHT node, deduplicated per key."""
+
+    def __init__(self) -> None:
+        self._data: dict[int, dict[Hashable, Any]] = {}
+
+    def put(self, key: int, value: Any, identity: Hashable | None = None) -> bool:
+        """Store ``value`` under ``key``.
+
+        ``identity`` is the dedup handle (defaults to the value itself,
+        which must then be hashable). Returns True if the value was new.
+        """
+        bucket = self._data.setdefault(key, {})
+        handle = identity if identity is not None else value
+        if handle in bucket:
+            return False
+        bucket[handle] = value
+        return True
+
+    def get(self, key: int) -> list[Any]:
+        """All values stored under ``key`` (empty list if none)."""
+        bucket = self._data.get(key)
+        if not bucket:
+            return []
+        return list(bucket.values())
+
+    def remove_key(self, key: int) -> int:
+        """Drop all values under ``key``; returns how many were removed."""
+        bucket = self._data.pop(key, None)
+        return len(bucket) if bucket else 0
+
+    def contains(self, key: int) -> bool:
+        return key in self._data and bool(self._data[key])
+
+    def keys(self) -> Iterator[int]:
+        return iter(self._data.keys())
+
+    def items(self) -> Iterator[tuple[int, list[Any]]]:
+        for key, bucket in self._data.items():
+            yield key, list(bucket.values())
+
+    def __len__(self) -> int:
+        """Total number of stored values across all keys."""
+        return sum(len(bucket) for bucket in self._data.values())
+
+    def clear(self) -> None:
+        self._data.clear()

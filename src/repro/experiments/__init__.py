@@ -1,0 +1,29 @@
+"""Experiment reproductions: one module per paper figure/claim.
+
+Every module exposes ``run(scale) -> ExperimentResult``; the runner
+(:mod:`repro.experiments.runner`) executes all of them and prints the
+tables that EXPERIMENTS.md records. See DESIGN.md for the experiment
+index mapping figures to modules.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    PaperScale,
+    SMALL_SCALE,
+    PAPER_SCALE,
+    get_campaign,
+    get_library,
+    get_network,
+    get_workload,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "PaperScale",
+    "SMALL_SCALE",
+    "PAPER_SCALE",
+    "get_campaign",
+    "get_library",
+    "get_network",
+    "get_workload",
+]

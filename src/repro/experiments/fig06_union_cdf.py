@@ -1,0 +1,22 @@
+"""Figure 6: result-size CDF for queries <= 20 results, union of 5/15/25/30."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, PaperScale, PAPER_SCALE, get_campaign
+
+
+def run(scale: PaperScale = PAPER_SCALE) -> ExperimentResult:
+    campaign = get_campaign(scale)
+    ks = sorted(campaign.replays[0].union_results_by_k) if campaign.replays else []
+    rows = []
+    for size in range(0, 21, 2):
+        row = [size, 100.0 * campaign.fraction_with_at_most(size)]
+        row.extend(100.0 * campaign.fraction_with_at_most(size, k) for k in ks)
+        rows.append(tuple(row))
+    return ExperimentResult(
+        experiment_id="fig06",
+        title="Result-size CDF (<=20 results) for increasing union sizes",
+        columns=["num_results<=", "single"] + [f"union{k}" for k in ks],
+        rows=rows,
+        notes="unions shrink the small-result mass; beyond ~15 vantages gains taper",
+    )

@@ -1,0 +1,112 @@
+"""Section 5's motivating claim: rare queries ship few posting entries.
+
+The paper replayed 70,000 queries over 700,000 files with the SHJ
+algorithm (smaller posting lists first) and found queries returning <= 10
+results ship ~7x fewer posting-list entries than the average query.
+
+We publish the corpus (every replica) into a DHT, replay the workload
+through PIERSearch's distributed-join path, and compare the mean entries
+shipped for small-result queries against the overall mean. Also reports
+the smaller-list-first vs naive-order ablation called out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro.common.errors import PlanError
+from repro.dht.network import DhtNetwork
+from repro.experiments.common import ExperimentResult, PaperScale, PAPER_SCALE, get_library, get_workload
+from repro.pier.catalog import Catalog
+from repro.pier.executor import DistributedExecutor
+from repro.pier.planner import KeywordPlanner
+from repro.pier.query import JoinStrategy
+from repro.piersearch.publisher import Publisher
+from repro.piersearch.search import SearchEngine
+
+_corpus_cache: dict[str, tuple] = {}
+
+
+def build_indexed_corpus(
+    scale: PaperScale, dht_nodes: int = 64, max_files: int = 25_000
+):
+    """A DHT with the scale's replica corpus published into it.
+
+    The paper replayed its queries over a *sample* of 700,000 files; we
+    likewise cap the published corpus at ``max_files`` replicas (capping
+    per item, so every distinct item keeps at least one replica and the
+    long-tail shape survives subsampling).
+    """
+    if scale.name in _corpus_cache:
+        return _corpus_cache[scale.name]
+    library = get_library(scale)
+    network = DhtNetwork(rng=scale.seed + 20)
+    network.populate(dht_nodes)
+    catalog = Catalog(network)
+    publisher = Publisher(network, catalog, inverted_cache=False)
+    placement = library.place(list(range(scale.num_ultrapeers)), rng=scale.seed + 21)
+    total = placement.total_replicas
+    keep_fraction = min(1.0, max_files / total) if total else 1.0
+    published = 0
+    for filename, replicas in placement.replicas_by_filename.items():
+        keep = max(1, int(round(len(replicas) * keep_fraction)))
+        for file in replicas[:keep]:
+            publisher.publish_file(
+                file.filename, file.filesize, file.ip_address, file.port
+            )
+            published += 1
+    _corpus_cache[scale.name] = (network, catalog, publisher)
+    return _corpus_cache[scale.name]
+
+
+def run(scale: PaperScale = PAPER_SCALE, max_queries: int = 200) -> ExperimentResult:
+    network, catalog, _ = build_indexed_corpus(scale)
+    engine = SearchEngine(network, catalog)
+    workload = get_workload(scale)
+
+    shipped_small: list[int] = []
+    shipped_all: list[int] = []
+    shipped_naive: list[int] = []
+    planner = KeywordPlanner(catalog)
+    executor = DistributedExecutor(network, catalog)
+    for query in list(workload)[:max_queries]:
+        try:
+            result = engine.search(list(query.terms))
+        except PlanError:
+            continue
+        shipped_all.append(result.stats.posting_entries_shipped)
+        if 0 < len(result.items) <= 10:
+            shipped_small.append(result.stats.posting_entries_shipped)
+        # Ablation: same query without the smaller-list-first optimization.
+        if len(query.terms) > 1:
+            plan = planner.plan(
+                list(query.terms),
+                network.random_node_id(),
+                strategy=JoinStrategy.DISTRIBUTED_JOIN,
+                order_by_size=False,
+            )
+            _, stats = executor.execute(plan, fetch_items=False)
+            shipped_naive.append(stats.posting_entries_shipped)
+
+    mean_all = mean(shipped_all) if shipped_all else 0.0
+    mean_small = mean(shipped_small) if shipped_small else 0.0
+    ratio = mean_all / mean_small if mean_small else float("inf")
+    mean_naive = mean(shipped_naive) if shipped_naive else 0.0
+    multi_term_ordered = [
+        s for s, q in zip(shipped_all, workload) if len(q.terms) > 1
+    ]
+    mean_ordered = mean(multi_term_ordered) if multi_term_ordered else 0.0
+    rows = [
+        ("mean entries shipped (all queries)", mean_all),
+        ("mean entries shipped (<=10 results)", mean_small),
+        ("ratio all/small (paper: ~7x)", ratio),
+        ("mean entries, multi-term, smallest-first", mean_ordered),
+        ("mean entries, multi-term, naive order", mean_naive),
+    ]
+    return ExperimentResult(
+        experiment_id="sec5-posting",
+        title="Posting-list entries shipped by the distributed join",
+        columns=["statistic", "value"],
+        rows=rows,
+        notes="rare queries are cheap to answer via the DHT; ordering ablation included",
+    )

@@ -1,0 +1,85 @@
+"""Per-ultrapeer content index.
+
+An ultrapeer answers queries on behalf of its leaves: each leaf publishes
+its file list to the ultrapeer on connect (Gnutella 0.6), so query
+processing never touches leaves. The index keeps a token -> files map for
+candidate generation and verifies candidates with Gnutella's substring
+matching semantics, so lookups are fast without changing match results.
+"""
+
+from __future__ import annotations
+
+from repro.piersearch.tokenizer import tokenize
+from repro.workload.library import SharedFile
+
+
+class UltrapeerIndex:
+    """Files searchable at one ultrapeer (its own plus its leaves')."""
+
+    def __init__(self) -> None:
+        self._files: list[SharedFile] = []
+        self._token_index: dict[str, list[int]] = {}
+
+    def add_file(self, file: SharedFile) -> None:
+        position = len(self._files)
+        self._files.append(file)
+        for token in set(tokenize(file.filename)):
+            self._token_index.setdefault(token, []).append(position)
+
+    def add_files(self, files: list[SharedFile]) -> None:
+        for file in files:
+            self.add_file(file)
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    @property
+    def files(self) -> list[SharedFile]:
+        return list(self._files)
+
+    def match(self, terms: list[str]) -> list[SharedFile]:
+        """Files whose names contain every query term (substring match).
+
+        Candidate generation uses the token index on the rarest term's
+        tokens; verification applies true substring semantics, so the
+        result is identical to scanning every file.
+        """
+        if not terms:
+            return []
+        lowered = [term.lower() for term in terms]
+        candidates = self._candidates(lowered)
+        matched: list[SharedFile] = []
+        for position in candidates:
+            name = self._files[position].filename.lower()
+            if all(term in name for term in lowered):
+                matched.append(self._files[position])
+        return matched
+
+    def _candidates(self, lowered_terms: list[str]) -> range | list[int]:
+        """Narrow the candidate set using the token index when possible.
+
+        A term that is itself a token can only match files containing that
+        token... unless it appears as a substring of a longer token, so we
+        only use the index when the term matches at least one indexed token
+        by substring; we then take the union of those tokens' posting
+        lists. If a term matches too many tokens, fall back to a full scan.
+        """
+        best: list[int] | None = None
+        for term in lowered_terms:
+            token_lists = [
+                positions
+                for token, positions in self._token_index.items()
+                if term in token
+            ]
+            if not token_lists:
+                return []  # no token contains this term anywhere
+            if len(token_lists) > 50:
+                continue  # too unselective; try another term
+            union: set[int] = set()
+            for positions in token_lists:
+                union.update(positions)
+            if best is None or len(union) < len(best):
+                best = sorted(union)
+        if best is None:
+            return range(len(self._files))
+        return best

@@ -1,0 +1,375 @@
+"""Union-of-k measurement campaign (Section 4.2).
+
+The paper replays each of 700 distinct queries from 30 PlanetLab
+ultrapeers and takes the union of the results as a lower bound on the
+network's true content ("Union-of-30"). This module reproduces that
+campaign against a simulated network.
+
+For speed, the campaign exploits the determinism of flooding: the result
+set a vantage obtains equals the matching replicas indexed at ultrapeers
+within its BFS horizon, so we precompute per-vantage BFS depths once and
+intersect per query — provably equivalent to running ``flood`` per
+(query, vantage), which the test suite verifies at small scale. Latency
+uses the same round/hop arithmetic as the full dynamic-query simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.gnutella.latency import GnutellaLatencyModel
+from repro.gnutella.network import GnutellaNetwork
+from repro.piersearch.tokenizer import tokenize
+from repro.workload.library import SharedFile
+from repro.workload.queries import Query, QueryWorkload
+from repro.workload.trace import QueryObservation, TraceBundle
+
+DEFAULT_UNION_KS = (5, 15, 25, 30)
+
+
+class ContentMatcher:
+    """Matches queries against the network's distinct filenames, fast.
+
+    Builds one token index over distinct filenames; per-query matching
+    narrows candidates through the index and verifies with the same
+    substring semantics as :meth:`GnutellaNetwork.all_results_for`
+    (equivalence is covered by tests).
+    """
+
+    def __init__(self, network: GnutellaNetwork):
+        if network.placement is None:
+            raise ValueError("network has no content placement")
+        self.placement = network.placement
+        self.filenames = list(self.placement.replicas_by_filename)
+        self._token_index: dict[str, list[int]] = {}
+        for position, filename in enumerate(self.filenames):
+            for token in set(tokenize(filename)):
+                self._token_index.setdefault(token, []).append(position)
+
+    def matching_filenames(self, terms: list[str]) -> list[str]:
+        lowered = [term.lower() for term in terms]
+        best: list[int] | None = None
+        for term in lowered:
+            postings = [
+                positions
+                for token, positions in self._token_index.items()
+                if term in token
+            ]
+            if not postings:
+                return []
+            if len(postings) > 50 and best is not None:
+                continue
+            union: set[int] = set()
+            for positions in postings:
+                union.update(positions)
+            if best is None or len(union) < len(best):
+                best = sorted(union)
+        candidates = best if best is not None else range(len(self.filenames))
+        matched: list[str] = []
+        for position in candidates:
+            name = self.filenames[position].lower()
+            if all(term in name for term in lowered):
+                matched.append(self.filenames[position])
+        return matched
+
+    def matching_replicas(self, terms: list[str]) -> list[SharedFile]:
+        replicas: list[SharedFile] = []
+        for filename in self.matching_filenames(terms):
+            replicas.extend(self.placement.replicas_by_filename[filename])
+        return replicas
+
+
+@dataclass
+class QueryReplay:
+    """Results of replaying one query from every vantage."""
+
+    query: Query
+    #: result count seen by each vantage individually
+    vantage_results: list[int]
+    #: k -> union result count over the first k vantages
+    union_results_by_k: dict[int, int]
+    #: k -> union distinct-filename count over the first k vantages
+    union_distinct_by_k: dict[int, int]
+    single_results: int
+    single_distinct: int
+    #: mean replicas per distinct filename in the full-union result set
+    average_replication: float
+    #: modelled first-result latency at the designated vantage (inf = none)
+    first_result_latency: float
+    matched_filenames: list[str] = field(default_factory=list)
+
+
+@dataclass
+class MeasurementCampaign:
+    """A full replay campaign and its derived statistics."""
+
+    replays: list[QueryReplay]
+    vantages: list[int]
+    #: dynamic-query client parameters used during the replay
+    desired_results: int
+    max_ttl: int
+
+    def result_size_cdf(self, union_k: int | None = None) -> list[tuple[int, float]]:
+        """CDF points of result-set size (single-node or union-of-k)."""
+        sizes = [
+            replay.union_results_by_k[union_k] if union_k else replay.single_results
+            for replay in self.replays
+        ]
+        sizes.sort()
+        n = len(sizes)
+        points: list[tuple[int, float]] = []
+        for index, size in enumerate(sizes, start=1):
+            if points and points[-1][0] == size:
+                points[-1] = (size, index / n)
+            else:
+                points.append((size, index / n))
+        return points
+
+    def fraction_with_at_most(self, threshold: int, union_k: int | None = None) -> float:
+        """Fraction of queries returning <= ``threshold`` results."""
+        if not self.replays:
+            return 0.0
+        count = sum(
+            1
+            for replay in self.replays
+            if (replay.union_results_by_k[union_k] if union_k else replay.single_results)
+            <= threshold
+        )
+        return count / len(self.replays)
+
+    def fraction_distinct_at_most(self, threshold: int, union_k: int | None = None) -> float:
+        """Fraction of queries returning <= ``threshold`` distinct results."""
+        if not self.replays:
+            return 0.0
+        count = sum(
+            1
+            for replay in self.replays
+            if (replay.union_distinct_by_k[union_k] if union_k else replay.single_distinct)
+            <= threshold
+        )
+        return count / len(self.replays)
+
+    def to_trace_bundle(self, replica_distribution: dict[str, int]) -> TraceBundle:
+        """Package the campaign as a persistable trace."""
+        max_k = max(self.replays[0].union_results_by_k) if self.replays else 0
+        observations = [
+            QueryObservation(
+                query_id=replay.query.query_id,
+                terms=replay.query.terms,
+                results_single=replay.single_results,
+                results_union=replay.union_results_by_k.get(max_k, replay.single_results),
+                distinct_single=replay.single_distinct,
+                distinct_union=replay.union_distinct_by_k.get(max_k, replay.single_distinct),
+                average_replication=replay.average_replication,
+                first_result_latency=replay.first_result_latency,
+            )
+            for replay in self.replays
+        ]
+        return TraceBundle(
+            replica_distribution=dict(replica_distribution),
+            observations=observations,
+            metadata={
+                "vantages": len(self.vantages),
+                "desired_results": self.desired_results,
+                "max_ttl": self.max_ttl,
+            },
+        )
+
+
+def replay_campaign(
+    network: GnutellaNetwork,
+    workload: QueryWorkload,
+    num_vantages: int = 30,
+    desired_results: int = 150,
+    max_ttl: int = 4,
+    union_ks: tuple[int, ...] = DEFAULT_UNION_KS,
+    latency_model: GnutellaLatencyModel | None = None,
+) -> MeasurementCampaign:
+    """Replay ``workload`` from ``num_vantages`` ultrapeers and union results.
+
+    Each vantage behaves like a dynamic-querying LimeWire client: it
+    deepens its flood TTL by TTL until it has accumulated
+    ``desired_results`` results or reaches ``max_ttl``, and its result set
+    is everything found up to the stopping TTL.
+    """
+    latency_model = latency_model or network.latency_model
+    vantages = network.random_ultrapeers(num_vantages)
+    union_ks = tuple(k for k in union_ks if k <= len(vantages)) or (len(vantages),)
+
+    depths = [bfs_depths(network, vantage) for vantage in vantages]
+    file_hosts = index_hosts_by_result(network)
+    matcher = ContentMatcher(network)
+
+    replays: list[QueryReplay] = []
+    for position, query in enumerate(workload):
+        replays.append(
+            _replay_one(
+                matcher,
+                query,
+                vantages,
+                depths,
+                file_hosts,
+                desired_results,
+                union_ks,
+                latency_model,
+                max_ttl,
+                designated=position % len(vantages),
+            )
+        )
+    return MeasurementCampaign(
+        replays=replays,
+        vantages=vantages,
+        desired_results=desired_results,
+        max_ttl=max_ttl,
+    )
+
+
+def bfs_depths(network: GnutellaNetwork, origin: int) -> dict[int, int]:
+    """Hop depth of every ultrapeer from ``origin`` over the overlay."""
+    topology = network.topology
+    start = topology.ultrapeer_of(origin)
+    depth = {start: 0}
+    queue = deque([start])
+    while queue:
+        node = queue.popleft()
+        for neighbor in topology.neighbors[node]:
+            if neighbor not in depth:
+                depth[neighbor] = depth[node] + 1
+                queue.append(neighbor)
+    return depth
+
+
+def index_hosts_by_result(network: GnutellaNetwork) -> dict[tuple, list[int]]:
+    """result_key -> the ultrapeers at which that replica is indexed."""
+    hosts: dict[tuple, list[int]] = {}
+    for ultrapeer, index in network.indexes.items():
+        for file in index.files:
+            hosts.setdefault(file.result_key, []).append(ultrapeer)
+    return hosts
+
+
+def _replay_one(
+    matcher: ContentMatcher,
+    query: Query,
+    vantages: list[int],
+    depths: list[dict[int, int]],
+    file_hosts: dict[tuple, list[int]],
+    desired_results: int,
+    union_ks: tuple[int, ...],
+    latency_model: GnutellaLatencyModel,
+    max_ttl: int,
+    designated: int,
+) -> QueryReplay:
+    matches = matcher.matching_replicas(list(query.terms))
+    # Depth of each matching replica from each vantage = min depth over the
+    # ultrapeers indexing it.
+    replica_depths: list[list[int]] = []
+    keys: list[tuple] = []
+    for file in matches:
+        key = file.result_key
+        ultrapeers = file_hosts.get(key, ())
+        per_vantage = [
+            min(
+                (depth_map[up] for up in ultrapeers if up in depth_map),
+                default=math.inf,
+            )
+            for depth_map in depths
+        ]
+        replica_depths.append(per_vantage)
+        keys.append(key)
+
+    vantage_sets: list[set[int]] = []
+    for vantage_index in range(len(vantages)):
+        vantage_depths = [per_vantage[vantage_index] for per_vantage in replica_depths]
+        stop_ttl = dynamic_stop_ttl(vantage_depths, desired_results, max_ttl)
+        reached = {
+            row for row, depth in enumerate(vantage_depths) if depth <= stop_ttl
+        }
+        vantage_sets.append(reached)
+
+    union_results_by_k: dict[int, int] = {}
+    union_distinct_by_k: dict[int, int] = {}
+    running: set[int] = set()
+    next_k = iter(sorted(union_ks))
+    target = next(next_k, None)
+    for count, reached in enumerate(vantage_sets, start=1):
+        running |= reached
+        while target is not None and count == target:
+            union_results_by_k[target] = len(running)
+            union_distinct_by_k[target] = len({keys[row][0] for row in running})
+            target = next(next_k, None)
+
+    single_set = vantage_sets[designated]
+    single_distinct = len({keys[row][0] for row in single_set})
+
+    # Average replication over distinct filenames in the full-union set,
+    # approximated from the union itself as the paper does.
+    full_union: set[int] = set()
+    for reached in vantage_sets:
+        full_union |= reached
+    replication_by_name: dict[str, int] = {}
+    for row in full_union:
+        name = keys[row][0]
+        replication_by_name[name] = replication_by_name.get(name, 0) + 1
+    if replication_by_name:
+        average_replication = sum(replication_by_name.values()) / len(replication_by_name)
+    else:
+        average_replication = 0.0
+
+    first_depth = min(
+        (replica_depths[row][designated] for row in range(len(keys))),
+        default=math.inf,
+    )
+    latency = first_result_latency_for_depth(first_depth, latency_model, max_ttl)
+
+    return QueryReplay(
+        query=query,
+        vantage_results=[len(reached) for reached in vantage_sets],
+        union_results_by_k=union_results_by_k,
+        union_distinct_by_k=union_distinct_by_k,
+        single_results=len(single_set),
+        single_distinct=single_distinct,
+        average_replication=average_replication,
+        first_result_latency=latency,
+        matched_filenames=sorted({key[0] for key in keys}),
+    )
+
+
+def dynamic_stop_ttl(depths: list[float], desired_results: int, max_ttl: int) -> int:
+    """TTL at which a dynamic-querying client stops deepening.
+
+    The client floods TTL 1, 2, ... and stops as soon as the cumulative
+    result count reaches ``desired_results`` (or ``max_ttl`` is hit). This
+    mirrors :func:`repro.gnutella.dynamic.dynamic_query`'s stopping rule.
+    """
+    for ttl in range(1, max_ttl + 1):
+        found = sum(1 for depth in depths if depth <= ttl)
+        if found >= desired_results:
+            return ttl
+    return max_ttl
+
+
+def first_result_latency_for_depth(
+    depth: float, latency_model: GnutellaLatencyModel, max_ttl: int
+) -> float:
+    """Latency until dynamic querying first reaches a replica at ``depth``.
+
+    With iterative deepening from TTL 1, a replica at hop ``d`` is first
+    reached in the round with TTL d, after rounds 1..d-1 have completed:
+
+        latency = initial + sum_{t<d} (2 t hop + pause) + 2 d hop
+
+    This closed form matches
+    :meth:`GnutellaLatencyModel.first_result_latency` over an actual
+    :class:`DynamicQueryResult`, which the tests verify.
+    """
+    if math.isinf(depth) or depth > max_ttl:
+        return math.inf
+    d = max(1, int(depth))
+    latency = latency_model.initial_overhead
+    for ttl in range(1, d):
+        latency += 2 * ttl * latency_model.hop_time + latency_model.round_pause
+    latency += 2 * d * latency_model.hop_time
+    return latency

@@ -1,0 +1,143 @@
+"""Gnutella network facade.
+
+Glues topology, content placement, per-ultrapeer indexes, flooding,
+dynamic querying and the latency model into one object experiments can
+drive. Also provides BrowseHost (fetching a neighbour's file list), which
+the hybrid ultrapeer uses to gather file information (Section 7).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.rng import make_rng
+from repro.gnutella.dynamic import (
+    DEFAULT_DESIRED_RESULTS,
+    DEFAULT_MAX_TTL,
+    DynamicQueryResult,
+    dynamic_query,
+)
+from repro.gnutella.flooding import FloodResult, flood
+from repro.gnutella.index import UltrapeerIndex
+from repro.gnutella.latency import GnutellaLatencyModel
+from repro.gnutella.topology import Topology, TopologyConfig, build_topology
+from repro.workload.library import ContentLibrary, Placement, SharedFile
+
+
+class GnutellaNetwork:
+    """A fully assembled Gnutella network with content."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        latency_model: GnutellaLatencyModel | None = None,
+        rng: random.Random | int | None = None,
+    ):
+        self.topology = topology
+        self.latency_model = latency_model or GnutellaLatencyModel()
+        self.rng = make_rng(rng)
+        self.indexes: dict[int, UltrapeerIndex] = {
+            ultrapeer: UltrapeerIndex() for ultrapeer in topology.ultrapeers
+        }
+        self.placement: Placement | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        library: ContentLibrary,
+        config: TopologyConfig | None = None,
+        latency_model: GnutellaLatencyModel | None = None,
+        rng: random.Random | int | None = None,
+    ) -> "GnutellaNetwork":
+        """Build topology, place ``library``'s replicas, index everything."""
+        rng = make_rng(rng)
+        config = config or TopologyConfig()
+        topology = build_topology(config)
+        network = cls(topology, latency_model=latency_model, rng=rng)
+        placement = library.place(topology.all_nodes(), rng=rng)
+        network.load_placement(placement)
+        return network
+
+    def load_placement(self, placement: Placement) -> None:
+        """Index every replica at the ultrapeer responsible for its node.
+
+        Leaves publish their file lists to their parent ultrapeers;
+        ultrapeers index their own files locally.
+        """
+        self.placement = placement
+        for node, files in placement.files_by_node.items():
+            if self.topology.is_ultrapeer(node):
+                self.indexes[node].add_files(files)
+            else:
+                for parent in self.topology.leaf_parents.get(node, ()):
+                    self.indexes[parent].add_files(files)
+
+    # ------------------------------------------------------------------
+    # Query interface
+    # ------------------------------------------------------------------
+
+    def flood_query(self, origin: int, terms: list[str], ttl: int) -> FloodResult:
+        """Plain TTL flood from ``origin`` (a node; leaves go via parent)."""
+        return flood(
+            self.topology, self.indexes, self.topology.ultrapeer_of(origin), terms, ttl
+        )
+
+    def query(
+        self,
+        origin: int,
+        terms: list[str],
+        desired_results: int = DEFAULT_DESIRED_RESULTS,
+        max_ttl: int = DEFAULT_MAX_TTL,
+    ) -> DynamicQueryResult:
+        """Issue a query with dynamic deepening, as a modern client does."""
+        return dynamic_query(
+            self.topology,
+            self.indexes,
+            self.topology.ultrapeer_of(origin),
+            terms,
+            desired_results=desired_results,
+            max_ttl=max_ttl,
+        )
+
+    def first_result_latency(self, result: DynamicQueryResult) -> float:
+        return self.latency_model.first_result_latency(result)
+
+    # ------------------------------------------------------------------
+    # BrowseHost and bookkeeping
+    # ------------------------------------------------------------------
+
+    def browse_host(self, node: int) -> list[SharedFile]:
+        """A node's shared file list (Gnutella's BrowseHost API)."""
+        if self.placement is None:
+            return []
+        return self.placement.files_at(node)
+
+    def files_reachable_from(self, ultrapeer: int) -> list[SharedFile]:
+        """Files the ultrapeer indexes: its own plus its leaves'."""
+        return self.indexes[ultrapeer].files
+
+    def all_results_for(self, terms: list[str]) -> list[SharedFile]:
+        """Oracle: every matching replica in the whole network.
+
+        Used by measurement code to compute true recall denominators —
+        this is what the paper approximates with the union-of-30.
+        """
+        if self.placement is None:
+            return []
+        lowered = [term.lower() for term in terms]
+        matches: list[SharedFile] = []
+        for files in self.placement.files_by_node.values():
+            for file in files:
+                name = file.filename.lower()
+                if all(term in name for term in lowered):
+                    matches.append(file)
+        return matches
+
+    def random_ultrapeers(self, count: int) -> list[int]:
+        """A uniform sample of distinct ultrapeers (measurement vantages)."""
+        count = min(count, len(self.topology.ultrapeers))
+        return self.rng.sample(self.topology.ultrapeers, count)

@@ -1,0 +1,112 @@
+"""Query Routing Protocol (QRP): leaf keyword Bloom filters.
+
+Footnote 2 of the paper: newer LimeWire leaf nodes publish Bloom filters
+of the keywords in their files to their ultrapeers, instead of the full
+file lists. The ultrapeer then forwards a query to a leaf only when every
+query term hits the leaf's filter. This cuts publish bandwidth and leaf
+probes, but (a) false positives cause wasted probes and (b) substring and
+wildcard matching are lost — the same trade-off the paper notes for
+DHT-based search.
+
+``QrpUltrapeerIndex`` is a drop-in alternative to
+:class:`~repro.gnutella.index.UltrapeerIndex` that routes through per-leaf
+filters; its ``match`` results equal the exact index's results for
+whole-token queries, while ``leaf_probes``/``avoided_probes`` expose the
+routing-work accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.bloom import BloomFilter
+from repro.piersearch.tokenizer import extract_keywords, tokenize
+from repro.workload.library import SharedFile
+
+
+@dataclass
+class LeafEntry:
+    """One leaf as seen by its ultrapeer: its files plus its QRP filter."""
+
+    leaf_id: int
+    files: list[SharedFile] = field(default_factory=list)
+    bloom: BloomFilter | None = None
+
+    def rebuild_bloom(self, false_positive_rate: float = 0.01) -> int:
+        """(Re)build the keyword filter; returns its wire size in bytes."""
+        keywords = {
+            keyword
+            for file in self.files
+            for keyword in extract_keywords(file.filename)
+        }
+        self.bloom = BloomFilter.with_capacity(
+            max(1, len(keywords)), false_positive_rate
+        )
+        self.bloom.update(keywords)
+        return self.bloom.size_bytes
+
+
+class QrpUltrapeerIndex:
+    """Ultrapeer-side QRP routing table over its leaves."""
+
+    def __init__(self, false_positive_rate: float = 0.01):
+        self.false_positive_rate = false_positive_rate
+        self._leaves: dict[int, LeafEntry] = {}
+        #: own (ultrapeer-local) files are matched directly, as in LimeWire
+        self._local_files: list[SharedFile] = []
+        self.publish_bytes = 0
+        self.leaf_probes = 0
+        self.avoided_probes = 0
+        self.wasted_probes = 0
+
+    def add_local_files(self, files: list[SharedFile]) -> None:
+        self._local_files.extend(files)
+
+    def attach_leaf(self, leaf_id: int, files: list[SharedFile]) -> None:
+        """A leaf connects and publishes its QRP filter (not its files)."""
+        entry = LeafEntry(leaf_id=leaf_id, files=list(files))
+        self.publish_bytes += entry.rebuild_bloom(self.false_positive_rate)
+        self._leaves[leaf_id] = entry
+
+    @property
+    def num_leaves(self) -> int:
+        return len(self._leaves)
+
+    def match(self, terms: list[str]) -> list[SharedFile]:
+        """Match a query: local files directly, leaves via their filters.
+
+        QRP matches whole keywords only (tokens are hashed into the
+        filter), so the query terms are tokenized the same way. A leaf is
+        probed only when all terms pass its filter; probes that find
+        nothing (false positives) are counted in ``wasted_probes``.
+        """
+        keywords: list[str] = []
+        for term in terms:
+            keywords.extend(tokenize(term))
+        if not keywords:
+            return []
+        matches = [
+            file
+            for file in self._local_files
+            if _keywords_match(file.filename, keywords)
+        ]
+        for entry in self._leaves.values():
+            assert entry.bloom is not None
+            if all(keyword in entry.bloom for keyword in keywords):
+                self.leaf_probes += 1
+                found = [
+                    file
+                    for file in entry.files
+                    if _keywords_match(file.filename, keywords)
+                ]
+                if not found:
+                    self.wasted_probes += 1
+                matches.extend(found)
+            else:
+                self.avoided_probes += 1
+        return matches
+
+
+def _keywords_match(filename: str, keywords: list[str]) -> bool:
+    tokens = set(tokenize(filename))
+    return all(keyword in tokens for keyword in keywords)

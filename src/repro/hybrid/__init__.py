@@ -1,0 +1,40 @@
+"""The hybrid search infrastructure (Sections 5 and 7).
+
+:mod:`repro.hybrid.rare_items` implements the localized schemes for
+identifying rare items worth publishing into the DHT (Perfect, Random,
+QRS, TF, TPF, SAM); :mod:`repro.hybrid.ultrapeer` is the hybrid
+LimeWire/PIERSearch ultrapeer of Figure 17; and
+:mod:`repro.hybrid.deployment` reproduces the 50-node PlanetLab
+deployment experiment.
+"""
+
+from repro.hybrid.rare_items import (
+    CompressedTermFrequencyScheme,
+    PerfectScheme,
+    QueryResultsSizeScheme,
+    RandomScheme,
+    RareItemScheme,
+    SamplingScheme,
+    TermFrequencyScheme,
+    TermPairFrequencyScheme,
+    published_for_budget,
+)
+from repro.hybrid.ultrapeer import HybridQueryOutcome, HybridUltrapeer
+from repro.hybrid.deployment import DeploymentConfig, DeploymentReport, run_deployment
+
+__all__ = [
+    "RareItemScheme",
+    "CompressedTermFrequencyScheme",
+    "PerfectScheme",
+    "RandomScheme",
+    "QueryResultsSizeScheme",
+    "TermFrequencyScheme",
+    "TermPairFrequencyScheme",
+    "SamplingScheme",
+    "published_for_budget",
+    "HybridUltrapeer",
+    "HybridQueryOutcome",
+    "DeploymentConfig",
+    "DeploymentReport",
+    "run_deployment",
+]

@@ -1,0 +1,279 @@
+"""Partial-deployment simulation (Section 7).
+
+Reproduces the paper's 50-node experiment: fifty hybrid ultrapeers join a
+much larger Gnutella network and a private DHT overlay. During a warm-up
+phase they snoop results of forwarded background queries and publish rare
+items (the QRS scheme). During the test phase, leaf queries of hybrid
+ultrapeers that time out on Gnutella are re-issued through PIERSearch.
+
+Reported quantities mirror Section 7: publish bandwidth per file, PIER
+first-result latency (with and without InvertedCache), per-query
+bandwidth, and the reduction in queries that receive no results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from statistics import mean
+
+from repro.common.rng import make_rng, spawn_rng
+from repro.dht.network import DhtNetwork
+from repro.gnutella.latency import GnutellaLatencyModel
+from repro.gnutella.measurement import (
+    ContentMatcher,
+    bfs_depths,
+    dynamic_stop_ttl,
+    first_result_latency_for_depth,
+    index_hosts_by_result,
+)
+from repro.gnutella.network import GnutellaNetwork
+from repro.gnutella.topology import TopologyConfig
+from repro.hybrid.ultrapeer import HybridQueryOutcome, HybridUltrapeer
+from repro.pier.catalog import Catalog
+from repro.piersearch.publisher import Publisher
+from repro.piersearch.search import SearchEngine
+from repro.workload.library import ContentLibrary
+from repro.workload.queries import generate_workload
+
+
+@dataclass(frozen=True)
+class DeploymentConfig:
+    """Scale and behaviour knobs for the deployment experiment."""
+
+    num_ultrapeers: int = 1000
+    num_leaves: int = 4000
+    num_hybrid: int = 50
+    num_items: int = 1500
+    num_background_queries: int = 600
+    num_test_queries: int = 400
+    inverted_cache: bool = False
+    qrs_threshold: int = 20
+    gnutella_timeout: float = 30.0
+    #: clients deepen to TTL 3 here: on the down-scaled overlay that covers
+    #: a comparable fraction of ultrapeers to a real client's deep flood
+    client_max_ttl: int = 3
+    desired_results: int = 150
+    seed: int = 0
+
+
+@dataclass
+class DeploymentReport:
+    """Aggregated results of one deployment run."""
+
+    config: DeploymentConfig
+    outcomes: list[HybridQueryOutcome] = field(default_factory=list)
+    files_published: int = 0
+    publish_bytes: int = 0
+    #: fraction of test queries with zero Gnutella results
+    gnutella_no_result_fraction: float = 0.0
+    #: fraction of test queries with zero results under the hybrid policy
+    hybrid_no_result_fraction: float = 0.0
+    #: fraction of test queries with zero results anywhere in the network
+    oracle_no_result_fraction: float = 0.0
+    pier_first_result_latencies: list[float] = field(default_factory=list)
+    pier_query_bytes: list[int] = field(default_factory=list)
+
+    @property
+    def publish_kb_per_file(self) -> float:
+        if self.files_published == 0:
+            return 0.0
+        return self.publish_bytes / self.files_published / 1024
+
+    @property
+    def no_result_reduction(self) -> float:
+        """Relative reduction in no-result queries achieved by the hybrid."""
+        if self.gnutella_no_result_fraction == 0:
+            return 0.0
+        return (
+            self.gnutella_no_result_fraction - self.hybrid_no_result_fraction
+        ) / self.gnutella_no_result_fraction
+
+    @property
+    def potential_reduction(self) -> float:
+        """Upper bound: reduction if every available rare item were indexed."""
+        if self.gnutella_no_result_fraction == 0:
+            return 0.0
+        return (
+            self.gnutella_no_result_fraction - self.oracle_no_result_fraction
+        ) / self.gnutella_no_result_fraction
+
+    @property
+    def mean_pier_latency(self) -> float:
+        """Mean PIER first-result time, excluding the Gnutella timeout wait."""
+        if not self.pier_first_result_latencies:
+            return 0.0
+        return mean(self.pier_first_result_latencies)
+
+    @property
+    def mean_pier_query_kb(self) -> float:
+        if not self.pier_query_bytes:
+            return 0.0
+        return mean(self.pier_query_bytes) / 1024
+
+    @property
+    def mean_hybrid_latency_rare(self) -> float:
+        """Mean first-result latency for queries answered via PIER."""
+        latencies = [
+            outcome.first_result_latency
+            for outcome in self.outcomes
+            if outcome.used_pier and outcome.pier_results > 0
+        ]
+        return mean(latencies) if latencies else math.inf
+
+
+def run_deployment(config: DeploymentConfig | None = None) -> DeploymentReport:
+    """Run the full Section 7 experiment and return the report."""
+    config = config or DeploymentConfig()
+    rng = make_rng(config.seed)
+
+    # --- Assemble the Gnutella network with content -------------------
+    library = ContentLibrary.generate(
+        num_items=config.num_items,
+        alpha=0.6,
+        max_replicas=max(50, config.num_items // 6),
+        rng=spawn_rng(rng, "library"),
+    )
+    topology_config = TopologyConfig(
+        num_ultrapeers=config.num_ultrapeers,
+        num_leaves=config.num_leaves,
+        new_client_fraction=0.0,
+        seed=config.seed + 1,
+    )
+    gnutella = GnutellaNetwork.build(
+        library, topology_config, rng=spawn_rng(rng, "gnutella")
+    )
+
+    # --- The hybrid overlay: 50 ultrapeers with a private DHT ---------
+    hybrid_ids = gnutella.random_ultrapeers(config.num_hybrid)
+    dht = DhtNetwork(rng=spawn_rng(rng, "dht"))
+    dht_nodes = dht.populate(config.num_hybrid)
+    catalog = Catalog(dht)
+    publisher = Publisher(dht, catalog, inverted_cache=config.inverted_cache)
+    search_engine = SearchEngine(dht, catalog, inverted_cache=config.inverted_cache)
+    hybrids = [
+        HybridUltrapeer(
+            ultrapeer_id=ultrapeer,
+            dht_node_id=node.node_id,
+            publisher=publisher,
+            search_engine=search_engine,
+            qrs_threshold=config.qrs_threshold,
+            gnutella_timeout=config.gnutella_timeout,
+        )
+        for ultrapeer, node in zip(hybrid_ids, dht_nodes)
+    ]
+    hybrid_by_ultrapeer = {hybrid.ultrapeer_id: hybrid for hybrid in hybrids}
+
+    matcher = ContentMatcher(gnutella)
+    file_hosts = index_hosts_by_result(gnutella)
+    latency_model = gnutella.latency_model
+
+    # --- Warm-up: hybrid ultrapeers snoop background traffic ----------
+    background = generate_workload(
+        library,
+        config.num_background_queries,
+        rare_boost=0.30,
+        popularity_exponent=0.75,
+        max_terms=2,
+        rng=spawn_rng(rng, "background"),
+    )
+    origin_rng = spawn_rng(rng, "origins")
+    for query in background:
+        origin = origin_rng.choice(gnutella.topology.ultrapeers)
+        _observe_background_query(
+            gnutella, matcher, file_hosts, hybrid_by_ultrapeer, origin,
+            query, config,
+        )
+
+    # --- Test phase: leaf queries of hybrid ultrapeers ----------------
+    test = generate_workload(
+        library,
+        config.num_test_queries,
+        rare_boost=0.30,
+        popularity_exponent=0.75,
+        max_terms=2,
+        rng=spawn_rng(rng, "test"),
+    )
+    report = DeploymentReport(config=config)
+    depths_cache: dict[int, dict[int, int]] = {}
+    test_rng = spawn_rng(rng, "testorigin")
+    gnutella_zero = hybrid_zero = oracle_zero = 0
+    for query in test:
+        hybrid = test_rng.choice(hybrids)
+        depths = depths_cache.get(hybrid.ultrapeer_id)
+        if depths is None:
+            depths = bfs_depths(gnutella, hybrid.ultrapeer_id)
+            depths_cache[hybrid.ultrapeer_id] = depths
+        matches = matcher.matching_replicas(list(query.terms))
+        match_depths = [
+            min(
+                (depths[up] for up in file_hosts.get(file.result_key, ()) if up in depths),
+                default=math.inf,
+            )
+            for file in matches
+        ]
+        stop_ttl = dynamic_stop_ttl(
+            match_depths, config.desired_results, config.client_max_ttl
+        )
+        gnutella_count = sum(1 for depth in match_depths if depth <= stop_ttl)
+        first_depth = min(match_depths, default=math.inf)
+        gnutella_latency = first_result_latency_for_depth(
+            first_depth, latency_model, config.client_max_ttl
+        )
+        outcome = hybrid.handle_leaf_query(
+            list(query.terms), gnutella_count, gnutella_latency
+        )
+        report.outcomes.append(outcome)
+        if outcome.used_pier:
+            report.pier_query_bytes.append(outcome.pier_bytes)
+            if outcome.pier_results > 0:
+                report.pier_first_result_latencies.append(
+                    outcome.pier_latency - config.gnutella_timeout
+                )
+        gnutella_zero += 1 if gnutella_count == 0 else 0
+        hybrid_zero += 1 if outcome.total_results == 0 else 0
+        oracle_zero += 1 if not matches else 0
+
+    n = len(test)
+    report.gnutella_no_result_fraction = gnutella_zero / n
+    report.hybrid_no_result_fraction = hybrid_zero / n
+    report.oracle_no_result_fraction = oracle_zero / n
+    report.files_published = sum(hybrid.files_published for hybrid in hybrids)
+    report.publish_bytes = sum(hybrid.publish_bytes for hybrid in hybrids)
+    return report
+
+
+def _observe_background_query(
+    gnutella: GnutellaNetwork,
+    matcher: ContentMatcher,
+    file_hosts: dict[tuple, list[int]],
+    hybrid_by_ultrapeer: dict[int, HybridUltrapeer],
+    origin: int,
+    query,
+    config: DeploymentConfig,
+) -> None:
+    """One background query: hybrid ultrapeers on its path snoop results.
+
+    A hybrid ultrapeer sees the results of queries it forwarded. The
+    flood's visited set is the set of forwarding ultrapeers, so every
+    hybrid ultrapeer inside the (TTL-limited) horizon observes the result
+    set and applies the QRS rule.
+    """
+    flood_result = gnutella.flood_query(origin, list(query.terms), ttl=2)
+    observers = [
+        hybrid_by_ultrapeer[up]
+        for up in flood_result.visited
+        if up in hybrid_by_ultrapeer
+    ]
+    if not observers:
+        return
+    results = matcher.matching_replicas(list(query.terms))
+    # The snooped result stream is what came back through the flood: the
+    # replicas whose hosting ultrapeers the flood reached.
+    visible = [
+        file
+        for file in results
+        if any(up in flood_result.visited for up in file_hosts.get(file.result_key, ()))
+    ]
+    for hybrid in observers:
+        hybrid.observe_query_results(visible)

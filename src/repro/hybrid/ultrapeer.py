@@ -1,0 +1,166 @@
+"""The hybrid LimeWire/PIERSearch ultrapeer (Figure 17).
+
+A hybrid ultrapeer participates in both networks: it behaves as an
+ordinary Gnutella ultrapeer toward Gnutella, while its Gnutella proxy
+snoops queries and results from the forwarded traffic, identifies rare
+items (QRS scheme: results of queries returning fewer than 20 results),
+and hands them to the PIERSearch client for publishing into the DHT.
+Leaf queries that return nothing from Gnutella within a timeout are
+re-issued through PIERSearch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.piersearch.publisher import PublishReceipt, Publisher
+from repro.piersearch.search import SearchEngine
+from repro.workload.library import SharedFile
+
+QRS_RESULT_SIZE_THRESHOLD = 20
+DEFAULT_GNUTELLA_TIMEOUT = 30.0
+DEFAULT_DHT_HOP_LATENCY = 1.2
+
+
+@dataclass
+class HybridQueryOutcome:
+    """What happened to one leaf query under the hybrid scheme."""
+
+    terms: tuple[str, ...]
+    gnutella_results: int
+    gnutella_latency: float
+    used_pier: bool = False
+    pier_results: int = 0
+    pier_latency: float = 0.0
+    pier_bytes: int = 0
+
+    @property
+    def total_results(self) -> int:
+        return self.gnutella_results + self.pier_results
+
+    @property
+    def first_result_latency(self) -> float:
+        """Latency to the first result under the hybrid policy.
+
+        Whichever source answered first wins: Gnutella's own first result,
+        or PIER's (timeout + PIER execution) when the query was re-issued.
+        No results at all -> inf.
+        """
+        candidates: list[float] = []
+        if self.gnutella_results > 0:
+            candidates.append(self.gnutella_latency)
+        if self.used_pier and self.pier_results > 0:
+            candidates.append(self.pier_latency)
+        return min(candidates, default=math.inf)
+
+
+class HybridUltrapeer:
+    """One deployed hybrid ultrapeer: proxy + PIERSearch client."""
+
+    def __init__(
+        self,
+        ultrapeer_id: int,
+        dht_node_id: int,
+        publisher: Publisher,
+        search_engine: SearchEngine,
+        qrs_threshold: int = QRS_RESULT_SIZE_THRESHOLD,
+        gnutella_timeout: float = DEFAULT_GNUTELLA_TIMEOUT,
+        dht_hop_latency: float = DEFAULT_DHT_HOP_LATENCY,
+    ):
+        self.ultrapeer_id = ultrapeer_id
+        self.dht_node_id = dht_node_id
+        self.publisher = publisher
+        self.search_engine = search_engine
+        self.qrs_threshold = qrs_threshold
+        self.gnutella_timeout = gnutella_timeout
+        self.dht_hop_latency = dht_hop_latency
+        self.receipts: list[PublishReceipt] = []
+        self._published_keys: set[tuple] = set()
+        self.outcomes: list[HybridQueryOutcome] = []
+
+    # ------------------------------------------------------------------
+    # Proxy: rare-item identification and publishing (QRS)
+    # ------------------------------------------------------------------
+
+    def observe_query_results(self, results: list[SharedFile]) -> int:
+        """Snoop one forwarded query's result set; publish if it is small.
+
+        Implements the QRS rare-item scheme the deployment used: result
+        sets smaller than the threshold are treated as rare and published.
+        Returns the number of files newly published.
+        """
+        if not results or len(results) >= self.qrs_threshold:
+            return 0
+        published = 0
+        for file in results:
+            if self.publish_file(file):
+                published += 1
+        return published
+
+    def publish_file(self, file: SharedFile) -> bool:
+        """Publish one file unless this ultrapeer already published it."""
+        key = file.result_key
+        if key in self._published_keys:
+            return False
+        self._published_keys.add(key)
+        receipt = self.publisher.publish_file(
+            filename=file.filename,
+            filesize=file.filesize,
+            ip_address=file.ip_address,
+            port=file.port,
+            origin=self.dht_node_id,
+        )
+        self.receipts.append(receipt)
+        return True
+
+    @property
+    def files_published(self) -> int:
+        return len(self.receipts)
+
+    @property
+    def publish_bytes(self) -> int:
+        return sum(receipt.bytes for receipt in self.receipts)
+
+    # ------------------------------------------------------------------
+    # Hybrid query path
+    # ------------------------------------------------------------------
+
+    def handle_leaf_query(
+        self,
+        terms: list[str],
+        gnutella_results: int,
+        gnutella_latency: float,
+    ) -> HybridQueryOutcome:
+        """Apply the hybrid policy to one leaf query.
+
+        The Gnutella attempt has already happened (its result count and
+        first-result latency are inputs); if it produced nothing within
+        the timeout, the query is re-issued through PIERSearch. PIER's
+        first-result latency is its critical-path hop count times the DHT
+        hop latency.
+        """
+        # The re-query fires when nothing arrived within the timeout; any
+        # late Gnutella results still count toward the final answer set.
+        timed_out = gnutella_results == 0 or gnutella_latency > self.gnutella_timeout
+        outcome = HybridQueryOutcome(
+            terms=tuple(terms),
+            gnutella_results=gnutella_results,
+            gnutella_latency=gnutella_latency,
+        )
+        if not timed_out:
+            self.outcomes.append(outcome)
+            return outcome
+        outcome.used_pier = True
+        try:
+            result = self.search_engine.search(terms, query_node=self.dht_node_id)
+        except Exception:
+            # Queries with no indexable terms cannot be re-issued.
+            self.outcomes.append(outcome)
+            return outcome
+        outcome.pier_results = len(result)
+        outcome.pier_bytes = result.stats.bytes
+        pier_time = result.stats.critical_path_hops * self.dht_hop_latency
+        outcome.pier_latency = self.gnutella_timeout + pier_time
+        self.outcomes.append(outcome)
+        return outcome

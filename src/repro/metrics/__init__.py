@@ -1,0 +1,19 @@
+"""Recall metrics and distribution helpers (Section 4.2 definitions)."""
+
+from repro.metrics.recall import (
+    query_distinct_recall,
+    query_recall,
+    recall_summary,
+    RecallSummary,
+)
+from repro.metrics.cdf import cdf_at, discrete_cdf, fraction_at_most
+
+__all__ = [
+    "query_recall",
+    "query_distinct_recall",
+    "recall_summary",
+    "RecallSummary",
+    "cdf_at",
+    "discrete_cdf",
+    "fraction_at_most",
+]

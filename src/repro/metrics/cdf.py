@@ -1,0 +1,38 @@
+"""Discrete CDF helpers used by the figure reproductions."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def discrete_cdf(values: Sequence[float]) -> list[tuple[float, float]]:
+    """(value, fraction <= value) pairs over a sample."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    points: list[tuple[float, float]] = []
+    for index, value in enumerate(ordered, start=1):
+        if points and points[-1][0] == value:
+            points[-1] = (value, index / n)
+        else:
+            points.append((value, index / n))
+    return points
+
+
+def fraction_at_most(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values <= threshold."""
+    if not values:
+        return 0.0
+    return sum(1 for value in values if value <= threshold) / len(values)
+
+
+def cdf_at(points: list[tuple[float, float]], x: float) -> float:
+    """Evaluate a discrete CDF (as produced by :func:`discrete_cdf`) at x."""
+    result = 0.0
+    for value, cumulative in points:
+        if value <= x:
+            result = cumulative
+        else:
+            break
+    return result

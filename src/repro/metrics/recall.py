@@ -1,0 +1,61 @@
+"""Query Recall (QR) and Query Distinct Recall (QDR).
+
+Section 4.2 defines:
+
+* **QR** — the percentage of available results in the network returned;
+  every replica counts as a distinct result (results are distinguished by
+  filename, host, and filesize).
+* **QDR** — the percentage of available *distinct* results returned;
+  replicas of the same filename collapse to one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.workload.library import SharedFile
+
+
+def query_recall(returned: list[SharedFile], available: list[SharedFile]) -> float:
+    """QR: fraction of available replicas returned (1.0 when none exist).
+
+    Following the paper, a query with no available results has undefined
+    recall; we report 1.0 so empty queries do not drag averages down.
+    """
+    available_keys = {file.result_key for file in available}
+    if not available_keys:
+        return 1.0
+    returned_keys = {file.result_key for file in returned} & available_keys
+    return len(returned_keys) / len(available_keys)
+
+
+def query_distinct_recall(returned: list[SharedFile], available: list[SharedFile]) -> float:
+    """QDR: fraction of available distinct filenames returned."""
+    available_names = {file.filename for file in available}
+    if not available_names:
+        return 1.0
+    returned_names = {file.filename for file in returned} & available_names
+    return len(returned_names) / len(available_names)
+
+
+@dataclass(frozen=True)
+class RecallSummary:
+    """Average recall over a batch of queries."""
+
+    average_qr: float
+    average_qdr: float
+    num_queries: int
+
+
+def recall_summary(
+    pairs: list[tuple[list[SharedFile], list[SharedFile]]]
+) -> RecallSummary:
+    """Average QR/QDR over ``(returned, available)`` pairs."""
+    if not pairs:
+        return RecallSummary(average_qr=0.0, average_qdr=0.0, num_queries=0)
+    qrs = [query_recall(returned, available) for returned, available in pairs]
+    qdrs = [query_distinct_recall(returned, available) for returned, available in pairs]
+    return RecallSummary(
+        average_qr=mean(qrs), average_qdr=mean(qdrs), num_queries=len(pairs)
+    )

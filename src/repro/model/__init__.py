@@ -1,0 +1,41 @@
+"""Analytical model of the hybrid system (Section 6).
+
+:mod:`repro.model.analytical` implements Equations (1)-(5) and the
+parameter/variable tables (Tables 1 and 2); :mod:`repro.model.tradeoff`
+applies the model to a captured trace to produce the recall-vs-threshold
+and overhead-vs-threshold sweeps behind Figures 9-12.
+"""
+
+from repro.model.analytical import (
+    HybridCosts,
+    SystemParameters,
+    hybrid_overall_cost,
+    hybrid_search_cost,
+    pf_gnutella,
+    pf_hybrid,
+    pf_threshold,
+    total_publishing_cost,
+)
+from repro.model.tradeoff import (
+    QueryMatches,
+    TraceModel,
+    average_qdr,
+    average_qr,
+    publishing_fraction,
+)
+
+__all__ = [
+    "HybridCosts",
+    "SystemParameters",
+    "hybrid_overall_cost",
+    "hybrid_search_cost",
+    "pf_gnutella",
+    "pf_hybrid",
+    "pf_threshold",
+    "total_publishing_cost",
+    "QueryMatches",
+    "TraceModel",
+    "average_qdr",
+    "average_qr",
+    "publishing_fraction",
+]

@@ -1,0 +1,50 @@
+"""PIER: a relational query processor over a DHT.
+
+This package reproduces the slice of PIER [Huebsch et al., VLDB 2003] that
+PIERSearch exercises: relational schemas and tuples, a catalog of DHT-
+indexed tables, local physical operators (scan / select / project /
+substring filter / symmetric hash join), and a distributed executor that
+routes plan stages between the DHT sites hosting each index key, charging
+every shipped tuple to the bandwidth meter.
+"""
+
+from repro.pier.schema import Row, Schema, row_identity
+from repro.pier.catalog import Catalog, TableHandle
+from repro.pier.operators import (
+    Distinct,
+    GroupByAggregate,
+    HashJoin,
+    Operator,
+    OrderByLimit,
+    Projection,
+    Scan,
+    Selection,
+    SubstringFilter,
+    SymmetricHashJoin,
+)
+from repro.pier.query import DistributedPlan, PlanStage, QueryStats
+from repro.pier.executor import DistributedExecutor
+from repro.pier.planner import KeywordPlanner
+
+__all__ = [
+    "Row",
+    "Schema",
+    "row_identity",
+    "Catalog",
+    "TableHandle",
+    "Operator",
+    "Scan",
+    "Selection",
+    "Projection",
+    "SubstringFilter",
+    "HashJoin",
+    "SymmetricHashJoin",
+    "Distinct",
+    "GroupByAggregate",
+    "OrderByLimit",
+    "DistributedPlan",
+    "PlanStage",
+    "QueryStats",
+    "DistributedExecutor",
+    "KeywordPlanner",
+]

@@ -1,0 +1,114 @@
+"""Catalog of DHT-indexed tables.
+
+The catalog maps table names to schemas and mediates all tuple publishing
+and index lookups. A tuple of table ``T`` with index value ``v`` lives on
+the DHT node responsible for ``hash("T|v")`` — this is how PIER uses the
+DHT itself as its index structure (Section 3.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.common.errors import KeyNotFoundError, SchemaError
+from repro.common.ids import hash_key
+from repro.dht.network import DhtNetwork
+from repro.pier.schema import Row, Schema, row_identity
+
+
+def table_key(table: str, index_value: Any) -> int:
+    """Ring key for tuples of ``table`` whose index column equals ``index_value``."""
+    return hash_key(f"{table}|{index_value}")
+
+
+@dataclass
+class TableHandle:
+    """One registered table: schema plus publish/fetch helpers."""
+
+    schema: Schema
+    network: DhtNetwork
+
+    def publish(
+        self,
+        row: Row,
+        origin: int | None = None,
+        payload_bytes: int = 0,
+        category: str | None = None,
+    ) -> int:
+        """Validate and publish ``row``; returns routing hops used."""
+        self.schema.validate(row)
+        key = table_key(self.schema.name, self.schema.index_value(row))
+        result = self.network.put_raw(
+            key,
+            row,
+            origin=origin,
+            payload_bytes=payload_bytes,
+            identity=row_identity(self.schema, row),
+            category=category or f"publish.{self.schema.name}",
+        )
+        return result.hops
+
+    def fetch(self, index_value: Any, origin: int | None = None) -> list[Row]:
+        """All rows with the given index value; empty list when none exist."""
+        key = table_key(self.schema.name, index_value)
+        try:
+            return self.network.get_raw(key, origin=origin, category=f"fetch.{self.schema.name}")
+        except KeyNotFoundError:
+            return []
+
+    def fetch_local(self, node_id: int, index_value: Any) -> list[Row]:
+        """Rows at a specific node, read without network messages."""
+        key = table_key(self.schema.name, index_value)
+        return self.network.get_local(node_id, key)
+
+    def host_of(self, index_value: Any) -> int:
+        """The DHT node hosting this index value."""
+        return self.network.owner_of(table_key(self.schema.name, index_value))
+
+    def scan_all(self) -> Iterator[Row]:
+        """Iterate every stored row of this table across all nodes.
+
+        An oracle-style full scan, used by tests and statistics gathering;
+        not part of the query data path (PIER never ships full tables).
+        Replicas stored on successor nodes are deduplicated.
+        """
+        seen: set[tuple] = set()
+        for node in self.network.nodes.values():
+            for _, values in node.store.items():
+                for value in values:
+                    if not isinstance(value, dict):
+                        continue
+                    if set(value) != set(self.schema.columns):
+                        continue
+                    identity = row_identity(self.schema, value)
+                    if identity in seen:
+                        continue
+                    seen.add(identity)
+                    yield value
+
+
+class Catalog:
+    """Registry of the tables available to the query processor."""
+
+    def __init__(self, network: DhtNetwork):
+        self.network = network
+        self._tables: dict[str, TableHandle] = {}
+
+    def register(self, schema: Schema) -> TableHandle:
+        if schema.name in self._tables:
+            raise SchemaError(f"table {schema.name!r} already registered")
+        handle = TableHandle(schema=schema, network=self.network)
+        self._tables[schema.name] = handle
+        return handle
+
+    def table(self, name: str) -> TableHandle:
+        if name not in self._tables:
+            raise SchemaError(f"unknown table {name!r}")
+        return self._tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def names(self) -> list[str]:
+        return sorted(self._tables)

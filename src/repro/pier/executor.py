@@ -1,0 +1,270 @@
+"""Distributed plan execution over the DHT.
+
+Implements the two query-processing strategies of Section 3.2:
+
+* **Distributed join** (Figure 2): the node hosting the first keyword
+  rehashes its matching Inverted tuples to the node hosting the next
+  keyword, which runs a symmetric hash join (SHJ) against its local
+  posting list; survivors flow down the keyword chain. The last site
+  streams matching fileIDs to the query node, which fetches Item tuples.
+
+* **InvertedCache** (Figure 3): the query is routed to the single node
+  hosting the first keyword's InvertedCache list; remaining terms are
+  resolved locally with substring filters over the cached full text, so no
+  posting-list entries cross the network.
+
+All shipping is charged to the DHT's bandwidth meter; per-query statistics
+(entries shipped, messages, bytes, critical-path hops) are returned in a
+:class:`~repro.pier.query.QueryStats`.
+
+Per the PIER design, "with the exception of query answers, all messages
+are sent via the DHT routing layer": rehash traffic pays multi-hop DHT
+routing, while final answers return directly to the query node in one hop.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import CostModel
+from repro.dht.network import DhtNetwork
+from repro.pier.catalog import Catalog
+from repro.pier.operators import Scan, SubstringFilter, SymmetricHashJoin
+from repro.pier.query import DistributedPlan, JoinStrategy, QueryStats
+from repro.pier.schema import Row
+
+
+class DistributedExecutor:
+    """Executes distributed keyword plans and accounts for every message.
+
+    With ``store_temp_tuples`` set, the intermediate join state created at
+    each site is also written into that site's DHT store under a per-query
+    temporary key — PIER "stores all temporary tuples generated during
+    query processing in the DHT", which lets a restarted or concurrent
+    operator re-read them. ``release_temp_tuples`` drops them when the
+    query completes.
+    """
+
+    def __init__(
+        self,
+        network: DhtNetwork,
+        catalog: Catalog,
+        cost_model: CostModel | None = None,
+        store_temp_tuples: bool = False,
+    ):
+        self.network = network
+        self.catalog = catalog
+        self.cost_model = cost_model or network.cost_model
+        self.store_temp_tuples = store_temp_tuples
+        self._query_counter = 0
+        self._temp_keys: list[tuple[int, int]] = []  # (node, ring key)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def execute(self, plan: DistributedPlan, fetch_items: bool = True) -> tuple[list[Row], QueryStats]:
+        """Run ``plan``; returns (result rows, per-query statistics).
+
+        Result rows are Item tuples when ``fetch_items`` is set, otherwise
+        the surviving posting entries (fileID rows).
+        """
+        self._query_counter += 1
+        if plan.strategy is JoinStrategy.INVERTED_CACHE:
+            return self._execute_inverted_cache(plan, fetch_items)
+        return self._execute_distributed_join(plan, fetch_items)
+
+    # ------------------------------------------------------------------
+    # Temporary tuple management
+    # ------------------------------------------------------------------
+
+    def _stash_temp(self, site: int, stage_index: int, rows: list[Row]) -> None:
+        """Store a stage's intermediate tuples in the site's DHT store."""
+        if not self.store_temp_tuples or not rows:
+            return
+        from repro.common.ids import hash_key
+
+        key = hash_key(f"__temp__|q{self._query_counter}|s{stage_index}")
+        node = self.network.nodes[site]
+        for position, row in enumerate(rows):
+            node.store.put(key, dict(row), identity=(position, row.get("fileID")))
+        self._temp_keys.append((site, key))
+
+    def temp_tuples_at(self, site: int, stage_index: int, query_id: int | None = None) -> list[Row]:
+        """Read back a stage's temporary tuples (for tests/recovery)."""
+        from repro.common.ids import hash_key
+
+        query = query_id if query_id is not None else self._query_counter
+        key = hash_key(f"__temp__|q{query}|s{stage_index}")
+        return self.network.get_local(site, key)
+
+    def release_temp_tuples(self) -> int:
+        """Drop every temporary tuple this executor created; returns count."""
+        removed = 0
+        for site, key in self._temp_keys:
+            node = self.network.nodes.get(site)
+            if node is not None:
+                removed += node.store.remove_key(key)
+        self._temp_keys.clear()
+        return removed
+
+    # ------------------------------------------------------------------
+    # Figure 2: distributed symmetric hash join
+    # ------------------------------------------------------------------
+
+    def _execute_distributed_join(
+        self, plan: DistributedPlan, fetch_items: bool
+    ) -> tuple[list[Row], QueryStats]:
+        stats = QueryStats(strategy=plan.strategy, keywords=plan.keywords)
+        inverted = self.catalog.table("Inverted")
+
+        # 1. Disseminate the query plan to every participating site.
+        stats_hops = self._disseminate(plan, stats)
+
+        # 2. Walk the keyword chain, rehashing survivors site to site.
+        first = plan.stages[0]
+        current = inverted.fetch_local(first.site, first.keyword)
+        stats.per_stage_entries.append(len(current))
+        previous_site = first.site
+        for stage_index, stage in enumerate(plan.stages[1:], start=1):
+            local = inverted.fetch_local(stage.site, stage.keyword)
+            stats.per_stage_entries.append(len(local))
+            current = self._rehash_and_join(
+                current, local, previous_site, stage.site, stats
+            )
+            self._stash_temp(stage.site, stage_index, current)
+            previous_site = stage.site
+            if not current:
+                break
+
+        # 3. Stream matching fileIDs from the last site to the query node.
+        #    Query answers go direct (one hop), not through DHT routing.
+        answer_bytes = self.cost_model.message_bytes(
+            len(current) * self.cost_model.tuple_bytes(self.cost_model.fileid_bytes)
+        )
+        self._charge(stats, "pier.answer", 1, answer_bytes)
+        stats.critical_path_hops = stats_hops + 1
+
+        rows: list[Row] = current
+        if fetch_items:
+            rows = self._fetch_items(current, plan.query_node, stats)
+        stats.results = len(rows)
+        return rows, stats
+
+    def _rehash_and_join(
+        self,
+        shipped: list[Row],
+        local: list[Row],
+        source_site: int,
+        target_site: int,
+        stats: QueryStats,
+    ) -> list[Row]:
+        """Ship ``shipped`` to ``target_site`` and SHJ against ``local``."""
+        hops = self._route_hops(source_site, target_site)
+        per_tuple = self.cost_model.tuple_bytes(self.cost_model.fileid_bytes + 12)
+        total_bytes = self.cost_model.routed_bytes(len(shipped) * per_tuple, hops)
+        self._charge(stats, "pier.rehash", max(1, hops), total_bytes)
+        stats.posting_entries_shipped += len(shipped)
+
+        join = SymmetricHashJoin(Scan(shipped), Scan(local), column="fileID")
+        merged = join.rows()
+        # Keep one surviving row per fileID for the next stage.
+        survivors: dict[object, Row] = {}
+        for row in merged:
+            survivors.setdefault(row["fileID"], {"fileID": row["fileID"]})
+        return list(survivors.values())
+
+    # ------------------------------------------------------------------
+    # Figure 3: InvertedCache single-site filtering
+    # ------------------------------------------------------------------
+
+    def _execute_inverted_cache(
+        self, plan: DistributedPlan, fetch_items: bool
+    ) -> tuple[list[Row], QueryStats]:
+        stats = QueryStats(strategy=plan.strategy, keywords=plan.keywords)
+        cache = self.catalog.table("InvertedCache")
+
+        # 1. Route the query (~850 B plan) to the single hosting site.
+        first = plan.stages[0]
+        hops = self._route_hops(plan.query_node, first.site)
+        plan_bytes = self.cost_model.routed_bytes(self.cost_model.query_plan_bytes, hops)
+        self._charge(stats, "pier.query", max(1, hops), plan_bytes)
+
+        # 2. Resolve remaining terms with local substring selections.
+        rows = cache.fetch_local(first.site, first.keyword)
+        stats.per_stage_entries.append(len(rows))
+        operator = Scan(rows)
+        for keyword in plan.keywords[1:]:
+            operator = SubstringFilter(operator, column="fulltext", needle=keyword)
+        matched = operator.rows()
+        survivors: dict[object, Row] = {}
+        for row in matched:
+            survivors.setdefault(row["fileID"], {"fileID": row["fileID"]})
+        current = list(survivors.values())
+
+        # 3. Stream answers directly back to the query node.
+        answer_bytes = self.cost_model.message_bytes(
+            len(current) * self.cost_model.tuple_bytes(self.cost_model.fileid_bytes)
+        )
+        self._charge(stats, "pier.answer", 1, answer_bytes)
+        stats.critical_path_hops = hops + 1
+
+        result: list[Row] = current
+        if fetch_items:
+            result = self._fetch_items(current, plan.query_node, stats)
+        stats.results = len(result)
+        return result, stats
+
+    # ------------------------------------------------------------------
+    # Shared pieces
+    # ------------------------------------------------------------------
+
+    def _disseminate(self, plan: DistributedPlan, stats: QueryStats) -> int:
+        """Send the plan to every site; returns sequential-chain hop count.
+
+        The plan travels query node -> site1 -> site2 -> ... because each
+        site must know where to rehash next; the hop count of that chain is
+        the latency-critical path of dissemination.
+        """
+        chain_hops = 0
+        previous = plan.query_node
+        for stage in plan.stages:
+            hops = self._route_hops(previous, stage.site)
+            plan_bytes = self.cost_model.routed_bytes(
+                self.cost_model.query_plan_bytes, hops
+            )
+            self._charge(stats, "pier.query", max(1, hops), plan_bytes)
+            chain_hops += hops
+            previous = stage.site
+        return chain_hops
+
+    def _fetch_items(self, fileid_rows: list[Row], query_node: int, stats: QueryStats) -> list[Row]:
+        """Fetch Item tuples for surviving fileIDs (parallel gets)."""
+        items = self.catalog.table("Item")
+        results: list[Row] = []
+        max_fetch_hops = 0
+        for row in fileid_rows:
+            file_id = row["fileID"]
+            host = items.host_of(file_id)
+            hops = self._route_hops(query_node, host)
+            max_fetch_hops = max(max_fetch_hops, hops)
+            request_bytes = self.cost_model.routed_bytes(self.cost_model.fileid_bytes, hops)
+            fetched = items.fetch_local(host, file_id)
+            response_payload = sum(
+                self.cost_model.item_tuple_bytes(item["filename"]) for item in fetched
+            )
+            response_bytes = self.cost_model.message_bytes(response_payload)
+            self._charge(stats, "pier.item_fetch", max(1, hops) + 1, request_bytes + response_bytes)
+            results.extend(fetched)
+        # Item fetches run in parallel; the slowest one bounds latency.
+        stats.critical_path_hops += max_fetch_hops + 1 if fileid_rows else 0
+        return results
+
+    def _route_hops(self, origin: int, key_owner: int) -> int:
+        """Overlay hops to route from ``origin`` to ``key_owner``'s id."""
+        if origin == key_owner:
+            return 0
+        return self.network.lookup(key_owner, origin=origin).hops
+
+    def _charge(self, stats: QueryStats, category: str, messages: int, byte_count: int) -> None:
+        stats.messages += messages
+        stats.bytes += byte_count
+        self.network.meter.charge(category, messages, byte_count)

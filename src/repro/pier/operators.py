@@ -1,0 +1,296 @@
+"""Local physical operators.
+
+These are the node-local building blocks of PIER query plans: iterator-
+style operators over streams of rows. The distributed executor composes
+them per site; shipping between sites is the executor's job, so every
+operator here is purely local and purely functional over its input stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.pier.schema import Row
+
+
+class Operator:
+    """Base iterator operator: ``iter(op)`` yields output rows."""
+
+    def __iter__(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def rows(self) -> list[Row]:
+        """Materialise the full output."""
+        return list(self)
+
+
+class Scan(Operator):
+    """Leaf operator over an already-materialised list of rows."""
+
+    def __init__(self, rows: Iterable[Row]):
+        self._rows = list(rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class Selection(Operator):
+    """Filter rows by an arbitrary predicate."""
+
+    def __init__(self, child: Operator, predicate: Callable[[Row], bool]):
+        self.child = child
+        self.predicate = predicate
+
+    def __iter__(self) -> Iterator[Row]:
+        return (row for row in self.child if self.predicate(row))
+
+
+class Projection(Operator):
+    """Keep only the named columns, deduplicating the projected rows."""
+
+    def __init__(self, child: Operator, columns: tuple[str, ...]):
+        self.child = child
+        self.columns = columns
+
+    def __iter__(self) -> Iterator[Row]:
+        seen: set[tuple] = set()
+        for row in self.child:
+            projected = {column: row[column] for column in self.columns}
+            signature = tuple(projected[column] for column in self.columns)
+            if signature in seen:
+                continue
+            seen.add(signature)
+            yield projected
+
+
+class SubstringFilter(Operator):
+    """Keep rows whose ``column`` contains ``needle`` as a substring.
+
+    This is the local filtering operator the InvertedCache plan (Figure 3)
+    applies to the cached full text: remaining query terms are resolved
+    with substring selection instead of distributed joins.
+    """
+
+    def __init__(self, child: Operator, column: str, needle: str, case_sensitive: bool = False):
+        self.child = child
+        self.column = column
+        self.needle = needle if case_sensitive else needle.lower()
+        self.case_sensitive = case_sensitive
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.child:
+            haystack = str(row[self.column])
+            if not self.case_sensitive:
+                haystack = haystack.lower()
+            if self.needle in haystack:
+                yield row
+
+
+class HashJoin(Operator):
+    """Classic build/probe equi-join on one column.
+
+    Joins ``left`` and ``right`` on ``column``; output rows merge both
+    sides (right side wins on column-name collisions other than the join
+    column, which is shared).
+    """
+
+    def __init__(self, left: Operator, right: Operator, column: str):
+        self.left = left
+        self.right = right
+        self.column = column
+
+    def __iter__(self) -> Iterator[Row]:
+        build: dict[Any, list[Row]] = {}
+        for row in self.left:
+            build.setdefault(row[self.column], []).append(row)
+        for row in self.right:
+            for match in build.get(row[self.column], ()):  # probe
+                merged = dict(match)
+                merged.update(row)
+                yield merged
+
+
+class SymmetricHashJoin(Operator):
+    """Pipelined symmetric hash join (SHJ) on one column.
+
+    Both inputs are consumed as streams; each arriving row is inserted into
+    its side's hash table and probed against the other side's table, so
+    results stream out as soon as both matching rows have arrived. This is
+    the join PIER executes between posting lists (Section 3.2). For a
+    deterministic simulation we interleave the two inputs round-robin,
+    which exercises the symmetric structure while producing the same output
+    set as any arrival order.
+    """
+
+    def __init__(self, left: Operator, right: Operator, column: str):
+        self.left = left
+        self.right = right
+        self.column = column
+        # Exposed for tests: peak hash-table sizes reached during the join.
+        self.peak_left_table = 0
+        self.peak_right_table = 0
+
+    def __iter__(self) -> Iterator[Row]:
+        left_table: dict[Any, list[Row]] = {}
+        right_table: dict[Any, list[Row]] = {}
+        left_iter = iter(self.left)
+        right_iter = iter(self.right)
+        left_done = right_done = False
+        while not (left_done and right_done):
+            if not left_done:
+                row = next(left_iter, None)
+                if row is None:
+                    left_done = True
+                else:
+                    left_table.setdefault(row[self.column], []).append(row)
+                    self.peak_left_table = max(
+                        self.peak_left_table, sum(len(v) for v in left_table.values())
+                    )
+                    for match in right_table.get(row[self.column], ()):
+                        merged = dict(row)
+                        merged.update(match)
+                        yield merged
+            if not right_done:
+                row = next(right_iter, None)
+                if row is None:
+                    right_done = True
+                else:
+                    right_table.setdefault(row[self.column], []).append(row)
+                    self.peak_right_table = max(
+                        self.peak_right_table, sum(len(v) for v in right_table.values())
+                    )
+                    for match in left_table.get(row[self.column], ()):
+                        merged = dict(match)
+                        merged.update(row)
+                        yield merged
+
+
+class Distinct(Operator):
+    """Drop duplicate rows (all columns considered)."""
+
+    def __init__(self, child: Operator):
+        self.child = child
+
+    def __iter__(self) -> Iterator[Row]:
+        seen: set[tuple] = set()
+        for row in self.child:
+            signature = tuple(sorted(row.items()))
+            if signature in seen:
+                continue
+            seen.add(signature)
+            yield row
+
+
+#: aggregate name -> (initial accumulator, step, finalise)
+_AGGREGATES = {
+    "count": (lambda: 0, lambda acc, value: acc + 1, lambda acc: acc),
+    "sum": (lambda: 0, lambda acc, value: acc + value, lambda acc: acc),
+    "min": (
+        lambda: None,
+        lambda acc, value: value if acc is None else min(acc, value),
+        lambda acc: acc,
+    ),
+    "max": (
+        lambda: None,
+        lambda acc, value: value if acc is None else max(acc, value),
+        lambda acc: acc,
+    ),
+    "avg": (
+        lambda: (0, 0),
+        lambda acc, value: (acc[0] + value, acc[1] + 1),
+        lambda acc: acc[0] / acc[1] if acc[1] else None,
+    ),
+}
+
+
+class GroupByAggregate(Operator):
+    """Hash-based grouping with the classic SQL aggregates.
+
+    ``aggregates`` maps output column -> (function name, input column);
+    the input column is ignored for ``count``. PIER computes such
+    aggregates for its non-filesharing workloads (e.g. network-monitoring
+    queries); here it also powers replication-factor statistics over the
+    Item/Inverted tables.
+
+    >>> rows = [{"artist": "a", "size": 1}, {"artist": "a", "size": 3}]
+    >>> op = GroupByAggregate(Scan(rows), ("artist",),
+    ...                       {"files": ("count", "size"), "bytes": ("sum", "size")})
+    >>> op.rows()
+    [{'artist': 'a', 'files': 2, 'bytes': 4}]
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        group_by: tuple[str, ...],
+        aggregates: dict[str, tuple[str, str]],
+    ):
+        for output, (function, _) in aggregates.items():
+            if function not in _AGGREGATES:
+                raise ValueError(f"unknown aggregate {function!r} for {output!r}")
+        self.child = child
+        self.group_by = group_by
+        self.aggregates = aggregates
+
+    def __iter__(self) -> Iterator[Row]:
+        groups: dict[tuple, dict[str, Any]] = {}
+        for row in self.child:
+            key = tuple(row[column] for column in self.group_by)
+            state = groups.get(key)
+            if state is None:
+                state = {
+                    output: _AGGREGATES[function][0]()
+                    for output, (function, _) in self.aggregates.items()
+                }
+                groups[key] = state
+            for output, (function, input_column) in self.aggregates.items():
+                value = row[input_column] if function != "count" else None
+                state[output] = _AGGREGATES[function][1](state[output], value)
+        for key, state in groups.items():
+            result: Row = dict(zip(self.group_by, key))
+            for output, (function, _) in self.aggregates.items():
+                result[output] = _AGGREGATES[function][2](state[output])
+            yield result
+
+
+class OrderByLimit(Operator):
+    """Sort by a column and optionally keep the top ``limit`` rows."""
+
+    def __init__(
+        self,
+        child: Operator,
+        column: str,
+        descending: bool = False,
+        limit: int | None = None,
+    ):
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
+        self.child = child
+        self.column = column
+        self.descending = descending
+        self.limit = limit
+
+    def __iter__(self) -> Iterator[Row]:
+        ordered = sorted(
+            self.child, key=lambda row: row[self.column], reverse=self.descending
+        )
+        if self.limit is not None:
+            ordered = ordered[: self.limit]
+        return iter(ordered)
+
+
+def intersect_on(column: str, *row_sets: list[Row]) -> list[Row]:
+    """Intersect row sets by a column, keeping rows from the first set.
+
+    Convenience used by tests and the planner to compute expected join
+    results without running operators.
+    """
+    if not row_sets:
+        return []
+    surviving = {row[column] for row in row_sets[0]}
+    for rows in row_sets[1:]:
+        surviving &= {row[column] for row in rows}
+    return [row for row in row_sets[0] if row[column] in surviving]

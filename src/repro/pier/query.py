@@ -1,0 +1,73 @@
+"""Distributed query plans and execution statistics.
+
+A keyword query over ``k`` terms becomes a :class:`DistributedPlan` with
+one :class:`PlanStage` per term. Stages are ordered (the planner decides
+the order); stage ``i`` executes at the DHT node hosting term ``i``'s
+posting list, receiving the surviving tuples from stage ``i-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class JoinStrategy(Enum):
+    """The two query-processing strategies of Section 3.2."""
+
+    #: Distributed symmetric-hash-join over Inverted posting lists (Fig. 2).
+    DISTRIBUTED_JOIN = "distributed_join"
+    #: Single-site substring filtering over InvertedCache tuples (Fig. 3).
+    INVERTED_CACHE = "inverted_cache"
+
+
+@dataclass(frozen=True)
+class PlanStage:
+    """One stage of a distributed keyword plan."""
+
+    keyword: str
+    site: int  # DHT node hosting this keyword's posting list
+
+
+@dataclass
+class DistributedPlan:
+    """An ordered chain of per-keyword stages plus the final Item fetch."""
+
+    keywords: tuple[str, ...]
+    stages: list[PlanStage]
+    strategy: JoinStrategy
+    query_node: int
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("a plan needs at least one stage")
+
+    @property
+    def first_site(self) -> int:
+        return self.stages[0].site
+
+    @property
+    def last_site(self) -> int:
+        return self.stages[-1].site
+
+
+@dataclass
+class QueryStats:
+    """Everything measured while executing one query."""
+
+    strategy: JoinStrategy
+    keywords: tuple[str, ...] = ()
+    results: int = 0
+    #: posting-list entries shipped between sites (Section 5's key metric)
+    posting_entries_shipped: int = 0
+    #: overlay messages used end to end
+    messages: int = 0
+    #: bytes on the wire end to end
+    bytes: int = 0
+    #: overlay hops on the longest sequential path (drives latency)
+    critical_path_hops: int = 0
+    per_stage_entries: list[int] = field(default_factory=list)
+
+    @property
+    def kilobytes(self) -> float:
+        return self.bytes / 1024

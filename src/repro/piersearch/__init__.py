@@ -1,0 +1,21 @@
+"""PIERSearch: DHT-based keyword search built on PIER (Section 3).
+
+The :class:`~repro.piersearch.publisher.Publisher` turns shared files into
+Item / Inverted / InvertedCache tuples and publishes them into the DHT;
+the :class:`~repro.piersearch.search.SearchEngine` turns keyword queries
+into PIER plans and executes them.
+"""
+
+from repro.piersearch.tokenizer import STOP_WORDS, extract_keywords, tokenize
+from repro.piersearch.publisher import PublishReceipt, Publisher
+from repro.piersearch.search import SearchEngine, SearchResult
+
+__all__ = [
+    "STOP_WORDS",
+    "extract_keywords",
+    "tokenize",
+    "PublishReceipt",
+    "Publisher",
+    "SearchEngine",
+    "SearchResult",
+]

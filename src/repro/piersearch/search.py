@@ -1,0 +1,93 @@
+"""The PIERSearch Search Engine (Section 3.2).
+
+Given a keyword query, the Search Engine builds the corresponding PIER
+plan (a chain of posting-list joins, or a single-site InvertedCache scan)
+and executes it through the distributed executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import PlanError
+from repro.dht.network import DhtNetwork
+from repro.pier.catalog import Catalog
+from repro.pier.executor import DistributedExecutor
+from repro.pier.planner import KeywordPlanner
+from repro.pier.query import JoinStrategy, QueryStats
+from repro.pier.schema import Row
+from repro.piersearch.tokenizer import extract_keywords
+
+
+@dataclass
+class SearchResult:
+    """Answer to one keyword query."""
+
+    terms: tuple[str, ...]
+    items: list[Row]
+    stats: QueryStats
+
+    @property
+    def filenames(self) -> list[str]:
+        return [item["filename"] for item in self.items]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class SearchEngine:
+    """Executes keyword queries against the published index."""
+
+    def __init__(
+        self,
+        network: DhtNetwork,
+        catalog: Catalog,
+        inverted_cache: bool = False,
+    ):
+        self.network = network
+        self.catalog = catalog
+        self.inverted_cache = inverted_cache
+        self.planner = KeywordPlanner(catalog)
+        self.executor = DistributedExecutor(network, catalog)
+
+    def search(
+        self,
+        terms: list[str],
+        query_node: int | None = None,
+        strategy: JoinStrategy | None = None,
+    ) -> SearchResult:
+        """Run a conjunctive keyword query.
+
+        ``terms`` are normalised with the same tokenizer used at publish
+        time, so stop words in the query are ignored (a query that is all
+        stop words raises :class:`~repro.common.errors.PlanError`).
+        """
+        normalised: list[str] = []
+        for term in terms:
+            normalised.extend(extract_keywords(term))
+        if not normalised:
+            raise PlanError(f"query {terms!r} contains no indexable keyword")
+        if query_node is None:
+            query_node = self.network.random_node_id()
+        if strategy is None:
+            strategy = (
+                JoinStrategy.INVERTED_CACHE
+                if self.inverted_cache
+                else JoinStrategy.DISTRIBUTED_JOIN
+            )
+        if strategy is JoinStrategy.INVERTED_CACHE:
+            planner = KeywordPlanner(self.catalog, posting_table="InvertedCache")
+        else:
+            planner = self.planner
+        plan = planner.plan(normalised, query_node, strategy=strategy)
+        items, stats = self.executor.execute(plan)
+        # Post-filter: DHT keyword match is exact-token; ensure conjunctive
+        # semantics hold on the returned filenames (mirrors client behavior).
+        matching = [item for item in items if _matches_all(item["filename"], normalised)]
+        stats.results = len(matching)
+        return SearchResult(terms=tuple(normalised), items=matching, stats=stats)
+
+
+def _matches_all(filename: str, terms: list[str]) -> bool:
+    keywords = set(extract_keywords(filename))
+    return all(term in keywords for term in terms)

@@ -1,0 +1,26 @@
+"""Discrete-event simulation kernel.
+
+The PlanetLab deployment in the paper is replaced by a deterministic
+discrete-event simulator: :class:`~repro.sim.engine.Simulator` provides a
+virtual clock and event queue, :mod:`repro.sim.latency` models wide-area
+round-trip times across two continents, and :mod:`repro.sim.stats` collects
+counters and histograms that the experiment harness reports.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.latency import LatencyModel, TwoContinentLatencyModel, UniformLatencyModel
+from repro.sim.network import Message, SimNetwork
+from repro.sim.stats import Counter, Histogram, StatsRegistry
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "LatencyModel",
+    "TwoContinentLatencyModel",
+    "UniformLatencyModel",
+    "Message",
+    "SimNetwork",
+    "Counter",
+    "Histogram",
+    "StatsRegistry",
+]

@@ -1,0 +1,112 @@
+"""Event loop with a virtual clock.
+
+A minimal but complete discrete-event engine: events are (time, seq,
+callback) triples in a heap; ``run`` pops them in time order and advances
+the clock. Everything the deployment simulation does — message delivery,
+query timeouts, churn — is scheduled here, so experiments are fully
+deterministic and run in virtual (not wall-clock) time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordering is (time, seq) so ties are FIFO."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Virtual-time event loop.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self.now + delay, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute virtual time."""
+        return self.schedule(time - self.now, callback)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Drain the event queue.
+
+        Stops when the queue is empty, when virtual time would pass
+        ``until``, or after ``max_events`` callbacks. Returns the number of
+        events processed by this call.
+        """
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                break
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                self.now = until
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback()
+            processed += 1
+        self._processed += processed
+        return processed
+
+    def step(self) -> bool:
+        """Process exactly one event. Returns False if the queue was empty."""
+        return self.run(max_events=1) == 1
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Total events processed over the simulator's lifetime."""
+        return self._processed
+
+
+class Process:
+    """Convenience base for simulation actors that hold a Simulator handle."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+
+    def after(self, delay: float, callback: Callable[[], None]) -> Event:
+        return self.sim.schedule(delay, callback)
+
+
+def run_callbacks(callbacks: list[Callable[[], Any]]) -> list[Any]:
+    """Run plain callbacks immediately; helper for non-simulated paths."""
+    return [callback() for callback in callbacks]

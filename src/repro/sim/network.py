@@ -1,0 +1,100 @@
+"""Simulated message-passing network.
+
+Binds node handlers to addresses and delivers :class:`Message` objects
+through the :class:`~repro.sim.engine.Simulator` with delays drawn from a
+:class:`~repro.sim.latency.LatencyModel`. Every delivery is counted so
+experiments can report message and byte overheads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.errors import NodeNotFoundError
+from repro.common.units import BandwidthMeter
+from repro.sim.engine import Simulator
+from repro.sim.latency import LatencyModel, UniformLatencyModel
+
+Handler = Callable[["Message"], None]
+
+
+@dataclass
+class Message:
+    """One network message: source/destination addresses plus a payload."""
+
+    source: int
+    destination: int
+    kind: str
+    payload: Any = None
+    size_bytes: int = 0
+    sent_at: float = 0.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+class SimNetwork:
+    """Delivers messages between registered nodes with simulated latency."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel | None = None,
+        rng: random.Random | None = None,
+    ):
+        self.sim = sim
+        self.latency = latency or UniformLatencyModel()
+        self.rng = rng or random.Random(0)
+        self.meter = BandwidthMeter()
+        self._handlers: dict[int, Handler] = {}
+        self._partitioned: set[int] = set()
+        self.dropped = 0
+
+    def register(self, address: int, handler: Handler) -> None:
+        """Attach ``handler`` to ``address``; replaces any previous handler."""
+        self._handlers[address] = handler
+
+    def unregister(self, address: int) -> None:
+        self._handlers.pop(address, None)
+
+    def is_registered(self, address: int) -> bool:
+        return address in self._handlers
+
+    def partition(self, address: int) -> None:
+        """Simulate a node becoming unreachable without deregistering it."""
+        self._partitioned.add(address)
+
+    def heal(self, address: int) -> None:
+        self._partitioned.discard(address)
+
+    def send(self, message: Message) -> None:
+        """Queue ``message`` for delivery after a sampled latency.
+
+        Messages to unknown or partitioned destinations are counted in
+        ``dropped`` and silently discarded — exactly what a UDP-based DHT
+        overlay sees.
+        """
+        message.sent_at = self.sim.now
+        self.meter.charge(message.kind, 1, message.size_bytes)
+        if (
+            message.destination not in self._handlers
+            or message.destination in self._partitioned
+            or message.source in self._partitioned
+        ):
+            self.dropped += 1
+            return
+        delay = self.latency.delay(message.source, message.destination, self.rng)
+        self.sim.schedule(delay, lambda: self._deliver(message))
+
+    def _deliver(self, message: Message) -> None:
+        handler = self._handlers.get(message.destination)
+        if handler is None or message.destination in self._partitioned:
+            self.dropped += 1
+            return
+        handler(message)
+
+    def require_handler(self, address: int) -> Handler:
+        handler = self._handlers.get(address)
+        if handler is None:
+            raise NodeNotFoundError(f"no node registered at address {address}")
+        return handler

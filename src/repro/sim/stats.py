@@ -1,0 +1,108 @@
+"""Counters and histograms for experiment reporting."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A named monotonically increasing counter."""
+
+    name: str
+    value: int = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Streaming histogram that keeps raw samples for exact quantiles.
+
+    Experiment sizes here are modest (<= a few hundred thousand samples),
+    so exact retention is simpler and more accurate than sketching.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+
+    def extend(self, values: list[float]) -> None:
+        self.samples.extend(values)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return math.nan
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Exact q-quantile (nearest-rank) of the observed samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0,1], got {q}")
+        if not self.samples:
+            return math.nan
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    def cdf_points(self) -> list[tuple[float, float]]:
+        """(value, fraction <= value) pairs, for plotting."""
+        if not self.samples:
+            return []
+        ordered = sorted(self.samples)
+        n = len(ordered)
+        points: list[tuple[float, float]] = []
+        for index, value in enumerate(ordered, start=1):
+            if points and points[-1][0] == value:
+                points[-1] = (value, index / n)
+            else:
+                points.append((value, index / n))
+        return points
+
+
+@dataclass
+class StatsRegistry:
+    """Groups counters and histograms created during one experiment run."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def summary(self) -> dict[str, float]:
+        """Flat numeric summary: counter values and histogram means."""
+        out: dict[str, float] = {}
+        for name, counter in self.counters.items():
+            out[name] = counter.value
+        for name, histogram in self.histograms.items():
+            out[f"{name}.mean"] = histogram.mean
+            out[f"{name}.count"] = histogram.count
+        return out

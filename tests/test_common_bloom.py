@@ -1,0 +1,72 @@
+"""Tests for the Bloom filter."""
+
+import pytest
+
+from repro.common.bloom import BloomFilter
+
+
+class TestBasics:
+    def test_added_items_always_found(self):
+        bloom = BloomFilter.with_capacity(100)
+        items = [f"term{i}" for i in range(100)]
+        bloom.update(items)
+        for item in items:
+            assert item in bloom  # no false negatives, ever
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter.with_capacity(10)
+        assert "anything" not in bloom
+
+    def test_false_positive_rate_near_target(self):
+        bloom = BloomFilter.with_capacity(500, false_positive_rate=0.01)
+        bloom.update(f"member{i}" for i in range(500))
+        false_positives = sum(
+            1 for i in range(5000) if f"nonmember{i}" in bloom
+        )
+        assert false_positives / 5000 < 0.05  # target 1%, generous headroom
+
+    def test_len_counts_adds(self):
+        bloom = BloomFilter.with_capacity(10)
+        bloom.add("a")
+        bloom.add("a")
+        assert len(bloom) == 2
+
+    def test_size_bytes(self):
+        bloom = BloomFilter(num_bits=80, num_hashes=3)
+        assert bloom.size_bytes == 10
+
+    def test_fill_ratio_grows(self):
+        bloom = BloomFilter.with_capacity(50)
+        assert bloom.fill_ratio == 0.0
+        bloom.update(f"x{i}" for i in range(50))
+        assert 0.0 < bloom.fill_ratio < 1.0
+
+    def test_estimated_fp_rate_tracks_fill(self):
+        bloom = BloomFilter.with_capacity(50, false_positive_rate=0.01)
+        bloom.update(f"x{i}" for i in range(50))
+        assert 0.0 < bloom.estimated_false_positive_rate() < 0.1
+
+
+class TestValidation:
+    def test_rejects_tiny_filters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(num_bits=4, num_hashes=1)
+
+    def test_rejects_zero_hashes(self):
+        with pytest.raises(ValueError):
+            BloomFilter(num_bits=64, num_hashes=0)
+
+    def test_with_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter.with_capacity(0)
+        with pytest.raises(ValueError):
+            BloomFilter.with_capacity(10, false_positive_rate=1.5)
+
+    def test_compression_wins_over_explicit_set(self):
+        """The point of Section 6.3's suggestion: the filter is much
+        smaller than the term strings it encodes."""
+        terms = [f"somelongishterm{i}" for i in range(2000)]
+        bloom = BloomFilter.with_capacity(2000, false_positive_rate=0.01)
+        bloom.update(terms)
+        explicit_bytes = sum(len(t) for t in terms)
+        assert bloom.size_bytes < explicit_bytes / 5

@@ -1,0 +1,40 @@
+"""Unit tests for deterministic RNG helpers."""
+
+import random
+
+from repro.common.rng import DEFAULT_SEED, make_rng, spawn_rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_passthrough_of_random_instance(self):
+        rng = random.Random(3)
+        assert make_rng(rng) is rng
+
+    def test_default_seed_is_stable(self):
+        assert make_rng(None).random() == random.Random(DEFAULT_SEED).random()
+
+
+class TestSpawnRng:
+    def test_deterministic_given_parent_state(self):
+        a = spawn_rng(make_rng(1), "dht").random()
+        b = spawn_rng(make_rng(1), "dht").random()
+        assert a == b
+
+    def test_labels_give_independent_streams(self):
+        parent = make_rng(1)
+        a = spawn_rng(parent, "dht")
+        parent2 = make_rng(1)
+        b = spawn_rng(parent2, "gnutella")
+        assert a.random() != b.random()
+
+    def test_spawn_does_not_share_state_with_parent(self):
+        parent = make_rng(5)
+        child = spawn_rng(parent, "x")
+        before = parent.random()
+        child.random()
+        parent2 = make_rng(5)
+        spawn_rng(parent2, "x")
+        assert parent2.random() == before

@@ -1,0 +1,170 @@
+"""Unit and integration tests for the Chord-style DHT network."""
+
+import math
+
+import pytest
+
+from repro.common.errors import DhtError, KeyNotFoundError, NodeNotFoundError
+from repro.common.ids import hash_key
+from repro.dht.network import DhtNetwork
+
+
+@pytest.fixture(scope="module")
+def dht():
+    network = DhtNetwork(rng=7)
+    network.populate(128)
+    return network
+
+
+class TestMembership:
+    def test_populate_count(self, dht):
+        assert dht.size == 128
+
+    def test_duplicate_node_id_rejected(self):
+        network = DhtNetwork(rng=1)
+        node = network.create_node()
+        with pytest.raises(DhtError):
+            network.create_node(node.node_id)
+
+    def test_remove_unknown_node_rejected(self):
+        network = DhtNetwork(rng=1)
+        network.populate(3)
+        with pytest.raises(NodeNotFoundError):
+            network.remove_node(123456789)
+
+    def test_empty_network_operations_fail(self):
+        network = DhtNetwork()
+        with pytest.raises(DhtError):
+            network.lookup(5)
+        with pytest.raises(DhtError):
+            network.owner_of(5)
+
+
+class TestRouting:
+    def test_lookup_reaches_responsible_node(self, dht):
+        for key in (hash_key(f"key{i}") for i in range(50)):
+            result = dht.lookup(key)
+            assert result.owner == dht.owner_of(key)
+
+    def test_lookup_from_every_origin(self, dht):
+        key = hash_key("target")
+        owner = dht.owner_of(key)
+        for origin in list(dht.nodes)[:20]:
+            assert dht.lookup(key, origin=origin).owner == owner
+
+    def test_hop_count_logarithmic(self, dht):
+        hops = [
+            dht.lookup(dht.rng.getrandbits(160)).hops for _ in range(300)
+        ]
+        mean_hops = sum(hops) / len(hops)
+        # Chord averages ~log2(N)/2 hops; allow generous headroom.
+        assert mean_hops <= math.log2(dht.size) + 1
+
+    def test_lookup_path_starts_at_origin(self, dht):
+        origin = next(iter(dht.nodes))
+        result = dht.lookup(hash_key("abc"), origin=origin)
+        assert result.path[0] == origin
+
+    def test_lookup_unknown_origin_rejected(self, dht):
+        with pytest.raises(NodeNotFoundError):
+            dht.lookup(5, origin=999999999999)
+
+    def test_routing_uses_local_state_only(self, dht):
+        """Each path step must be a finger/successor of the previous node."""
+        result = dht.lookup(hash_key("locality"), origin=next(iter(dht.nodes)))
+        for here, there in zip(result.path, result.path[1:]):
+            node = dht.nodes[here]
+            assert there in set(node.fingers) | set(node.successors)
+
+
+class TestDataPath:
+    def test_put_get_roundtrip(self):
+        network = DhtNetwork(rng=3)
+        network.populate(32)
+        network.put("song", ("value", 1), payload_bytes=50)
+        assert network.get("song") == [("value", 1)]
+
+    def test_get_missing_key_raises(self):
+        network = DhtNetwork(rng=3)
+        network.populate(8)
+        with pytest.raises(KeyNotFoundError):
+            network.get("missing")
+
+    def test_put_accumulates_values(self):
+        network = DhtNetwork(rng=3)
+        network.populate(16)
+        network.put("k", "a")
+        network.put("k", "b")
+        assert sorted(network.get("k")) == ["a", "b"]
+
+    def test_put_deduplicates_by_identity(self):
+        network = DhtNetwork(rng=3)
+        network.populate(16)
+        network.put("k", {"x": 1}, identity="same")
+        network.put("k", {"x": 1}, identity="same")
+        assert network.get("k") == [{"x": 1}]
+
+    def test_bandwidth_charged(self):
+        network = DhtNetwork(rng=3)
+        network.populate(32)
+        before = network.meter.bytes
+        network.put("k", "v", payload_bytes=1000)
+        assert network.meter.bytes - before >= 1000
+
+    def test_replication_places_copies(self):
+        network = DhtNetwork(replication=3, rng=5)
+        network.populate(32)
+        network.put("replicated", "v")
+        holders = [
+            node_id
+            for node_id, node in network.nodes.items()
+            if node.store.get(hash_key("replicated"))
+        ]
+        assert len(holders) == 3
+
+    def test_total_stored(self):
+        network = DhtNetwork(rng=3)
+        network.populate(8)
+        network.put("a", 1)
+        network.put("b", 2)
+        assert network.total_stored() == 2
+
+
+class TestDeparture:
+    def test_graceful_leave_hands_off_keys(self):
+        network = DhtNetwork(rng=9)
+        network.populate(32)
+        network.put("persist", "value")
+        owner = network.owner_of(hash_key("persist"))
+        network.remove_node(owner, graceful=True)
+        network.stabilize()
+        assert network.get("persist") == ["value"]
+
+    def test_ungraceful_failure_loses_unreplicated_data(self):
+        network = DhtNetwork(replication=1, rng=9)
+        network.populate(32)
+        network.put("fragile", "value")
+        owner = network.owner_of(hash_key("fragile"))
+        network.remove_node(owner, graceful=False)
+        network.stabilize()
+        with pytest.raises(KeyNotFoundError):
+            network.get("fragile")
+
+    def test_replication_survives_failure(self):
+        network = DhtNetwork(replication=3, rng=9)
+        network.populate(32)
+        network.put("hardy", "value")
+        owner = network.owner_of(hash_key("hardy"))
+        network.remove_node(owner, graceful=False)
+        network.stabilize()
+        assert network.get("hardy") == ["value"]
+
+    def test_routing_still_works_after_departures(self):
+        network = DhtNetwork(rng=11)
+        network.populate(64)
+        for _ in range(20):
+            network.remove_node(network.random_node_id(), graceful=True)
+        network.stabilize()
+        for i in range(20):
+            key = hash_key(f"post-churn-{i}")
+            assert network.lookup(key).owner == network.owner_of(key)

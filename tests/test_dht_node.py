@@ -1,0 +1,70 @@
+"""Unit tests for a single DHT node's routing state."""
+
+from repro.common.ids import KEY_SPACE
+from repro.dht.network import DhtNetwork
+from repro.dht.node import DhtNode
+
+
+def make_ring(ids):
+    nodes = {node_id: DhtNode(node_id) for node_id in ids}
+    ring = sorted(ids)
+    for node in nodes.values():
+        node.update_routing(ring)
+    return nodes
+
+
+class TestOwnership:
+    def test_single_node_owns_all(self):
+        nodes = make_ring([100])
+        assert nodes[100].owns(5)
+        assert nodes[100].owns(KEY_SPACE - 1)
+
+    def test_ownership_interval(self):
+        nodes = make_ring([100, 200, 300])
+        assert nodes[200].owns(150)
+        assert nodes[200].owns(200)
+        assert not nodes[200].owns(250)
+        assert not nodes[200].owns(100)
+
+    def test_wraparound_ownership(self):
+        nodes = make_ring([100, 200, 300])
+        # node 100 owns (300, 100]: wraps through zero.
+        assert nodes[100].owns(50)
+        assert nodes[100].owns(350)
+        assert nodes[100].owns(100)
+
+
+class TestRoutingState:
+    def test_predecessor_set(self):
+        nodes = make_ring([100, 200, 300])
+        assert nodes[200].predecessor == 100
+        assert nodes[100].predecessor == 300
+
+    def test_successors_exclude_self(self):
+        nodes = make_ring([100, 200, 300])
+        assert 100 not in nodes[100].successors
+
+    def test_fingers_deduplicated(self):
+        nodes = make_ring([100, 200, 300])
+        fingers = nodes[100].fingers
+        assert len(fingers) == len(set(fingers))
+
+    def test_closest_preceding_moves_toward_key(self):
+        ids = [i * (KEY_SPACE // 16) for i in range(16)]
+        nodes = make_ring(ids)
+        origin = nodes[ids[0]]
+        target = ids[9]
+        nxt = origin.closest_preceding(target)
+        assert nxt is not None
+        # The hop must strictly reduce ring distance to the key.
+        from repro.common.ids import ring_distance
+
+        assert ring_distance(nxt, target) < ring_distance(ids[0], target)
+
+    def test_closest_preceding_none_when_owner(self):
+        nodes = make_ring([100])
+        assert nodes[100].closest_preceding(50) is None
+
+    def test_first_successor(self):
+        nodes = make_ring([100, 200])
+        assert nodes[100].first_successor() == 200

@@ -1,0 +1,138 @@
+"""Tests for the event-driven DHT protocol (timing, timeouts, churn)."""
+
+import random
+
+import pytest
+
+from repro.common.ids import hash_key
+from repro.dht.network import DhtNetwork
+from repro.dht.protocol import DhtProtocol
+from repro.sim.engine import Simulator
+from repro.sim.latency import UniformLatencyModel
+from repro.sim.network import SimNetwork
+
+
+def make_protocol(num_nodes=32, seed=5, timeout=2.0):
+    dht = DhtNetwork(rng=seed)
+    dht.populate(num_nodes)
+    sim = Simulator()
+    net = SimNetwork(
+        sim, latency=UniformLatencyModel(0.05, 0.15), rng=random.Random(seed)
+    )
+    protocol = DhtProtocol(dht, sim, net, timeout=timeout)
+    return dht, sim, net, protocol
+
+
+class TestHappyPath:
+    def test_lookup_finds_owner(self):
+        dht, sim, _, protocol = make_protocol()
+        key = hash_key("target")
+        lookup = protocol.lookup(key)
+        sim.run()
+        assert not lookup.failed
+        assert lookup.owner == dht.owner_of(key)
+
+    def test_latency_accumulates_over_hops(self):
+        dht, sim, _, protocol = make_protocol()
+        key = hash_key("timed")
+        lookup = protocol.lookup(key)
+        sim.run()
+        # Each hop = request + reply, each 0.05-0.15 s one way.
+        assert lookup.latency is not None
+        assert lookup.latency >= 0.1 * lookup.hops * 0.9
+
+    def test_hops_match_synchronous_routing_scale(self):
+        dht, sim, _, protocol = make_protocol(num_nodes=64, seed=9)
+        rng = random.Random(1)
+        lookups = [protocol.lookup(rng.getrandbits(160)) for _ in range(30)]
+        sim.run()
+        mean_hops = sum(l.hops for l in lookups) / len(lookups)
+        assert mean_hops < 10  # ~log2(64) + iterative overhead
+
+    def test_callback_fires_once(self):
+        dht, sim, _, protocol = make_protocol()
+        fired = []
+        protocol.lookup(hash_key("cb"), callback=fired.append)
+        sim.run()
+        assert len(fired) == 1
+        assert fired[0].owner is not None
+
+    def test_concurrent_lookups_do_not_interfere(self):
+        dht, sim, _, protocol = make_protocol(num_nodes=48, seed=11)
+        keys = [hash_key(f"k{i}") for i in range(20)]
+        origin = dht.random_node_id()
+        lookups = [protocol.lookup(key, origin=origin) for key in keys]
+        sim.run()
+        for key, lookup in zip(keys, lookups):
+            assert not lookup.failed
+            assert lookup.owner == dht.owner_of(key)
+
+    def test_completed_list_tracks_all(self):
+        dht, sim, _, protocol = make_protocol()
+        for i in range(5):
+            protocol.lookup(hash_key(f"x{i}"))
+        sim.run()
+        assert len(protocol.completed) == 5
+
+
+class TestFailureRecovery:
+    def test_timeout_retries_through_fallback(self):
+        dht, sim, _, protocol = make_protocol(num_nodes=32, seed=13, timeout=0.5)
+        key = hash_key("resilient")
+        # Fail the first hop the origin would contact: the origin itself
+        # answers locally, so fail the owner-side path instead.
+        owner = dht.owner_of(key)
+        origin = next(n for n in dht.nodes if n != owner)
+        # Fail a mid-route node: pick origin's best next hop toward key.
+        next_hop = dht.nodes[origin].closest_preceding(key)
+        if next_hop is not None and next_hop != owner:
+            protocol.fail_node(next_hop)
+        lookup = protocol.lookup(key, origin=origin)
+        sim.run()
+        assert lookup.finished_at is not None
+        if next_hop is not None and next_hop != owner:
+            assert lookup.retries >= 1 or not lookup.failed
+
+    def test_failed_owner_makes_lookup_fail_or_reroute(self):
+        dht, sim, _, protocol = make_protocol(num_nodes=24, seed=17, timeout=0.4)
+        key = hash_key("doomed")
+        protocol.fail_node(dht.owner_of(key))
+        lookup = protocol.lookup(key)
+        sim.run()
+        assert lookup.finished_at is not None  # always terminates
+
+    def test_recovered_node_answers_again(self):
+        dht, sim, _, protocol = make_protocol(num_nodes=24, seed=19)
+        key = hash_key("phoenix")
+        owner = dht.owner_of(key)
+        protocol.fail_node(owner)
+        protocol.recover_node(owner)
+        lookup = protocol.lookup(key)
+        sim.run()
+        assert not lookup.failed
+        assert lookup.owner == owner
+
+    def test_mass_failure_still_terminates(self):
+        dht, sim, _, protocol = make_protocol(num_nodes=40, seed=23, timeout=0.3)
+        rng = random.Random(3)
+        for node_id in rng.sample(list(dht.nodes), 20):
+            protocol.fail_node(node_id)
+        lookups = [protocol.lookup(hash_key(f"m{i}")) for i in range(10)]
+        sim.run()
+        assert all(l.finished_at is not None for l in lookups)
+
+    def test_latency_degrades_under_churn(self):
+        """Failed hops cost a timeout each: churned lookups are slower."""
+        dht, sim, _, protocol = make_protocol(num_nodes=48, seed=29, timeout=0.5)
+        clean = [protocol.lookup(hash_key(f"c{i}")) for i in range(15)]
+        sim.run()
+        clean_mean = sum(l.latency for l in clean) / len(clean)
+
+        rng = random.Random(4)
+        for node_id in rng.sample(list(dht.nodes), 12):
+            protocol.fail_node(node_id)
+        churned = [protocol.lookup(hash_key(f"d{i}")) for i in range(15)]
+        sim.run()
+        finished = [l for l in churned if l.latency is not None]
+        churned_mean = sum(l.latency for l in finished) / len(finished)
+        assert churned_mean >= clean_mean

@@ -1,0 +1,76 @@
+"""Tests for experiment configuration, caching and result tables."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentResult,
+    PAPER_SCALE,
+    SMALL_SCALE,
+    get_campaign,
+    get_library,
+    get_network,
+    get_workload,
+)
+
+
+class TestScales:
+    def test_scales_distinct(self):
+        assert SMALL_SCALE.name != PAPER_SCALE.name
+        assert SMALL_SCALE.num_items < PAPER_SCALE.num_items
+
+    def test_paper_scale_matches_calibration(self):
+        # These values were calibrated against the paper's summary stats
+        # (EXPERIMENTS.md); changing them silently would invalidate it.
+        assert PAPER_SCALE.num_ultrapeers == 2000
+        assert PAPER_SCALE.rare_boost == pytest.approx(0.44)
+        assert PAPER_SCALE.max_ttl == 4
+        assert PAPER_SCALE.num_vantages == 30
+
+
+class TestCaching:
+    def test_library_cached(self):
+        assert get_library(SMALL_SCALE) is get_library(SMALL_SCALE)
+
+    def test_network_cached_and_bound_to_library(self):
+        network = get_network(SMALL_SCALE)
+        assert network is get_network(SMALL_SCALE)
+        assert network.placement.distinct_items == SMALL_SCALE.num_items
+
+    def test_workload_size(self):
+        assert len(get_workload(SMALL_SCALE)) == SMALL_SCALE.num_queries
+
+    def test_campaign_dimensions(self):
+        campaign = get_campaign(SMALL_SCALE)
+        assert len(campaign.replays) == SMALL_SCALE.num_queries
+        assert len(campaign.vantages) == SMALL_SCALE.num_vantages
+
+
+class TestExperimentResult:
+    def make_result(self):
+        return ExperimentResult(
+            experiment_id="figXX",
+            title="A test table",
+            columns=["x", "y"],
+            rows=[(1, 2.5), (2, 3.25)],
+            notes="note text",
+        )
+
+    def test_format_contains_everything(self):
+        text = self.make_result().format_table()
+        assert "figXX" in text
+        assert "A test table" in text
+        assert "note text" in text
+        assert "2.500" in text
+
+    def test_column_accessor(self):
+        result = self.make_result()
+        assert result.column("x") == [1, 2]
+        assert result.column("y") == [2.5, 3.25]
+
+    def test_format_handles_large_floats(self):
+        result = ExperimentResult("id", "t", ["v"], [(12345.678,)])
+        assert "12345.7" in result.format_table()
+
+    def test_format_empty_rows(self):
+        result = ExperimentResult("id", "t", ["v"], [])
+        assert "id" in result.format_table()

@@ -1,0 +1,79 @@
+"""Tests for the Query Routing Protocol (leaf Bloom filters)."""
+
+import pytest
+
+from repro.gnutella.index import UltrapeerIndex
+from repro.gnutella.qrp import QrpUltrapeerIndex
+from repro.workload.library import SharedFile
+
+
+def shared(name, node=1):
+    return SharedFile(filename=name, filesize=1, node_id=node)
+
+
+@pytest.fixture()
+def qrp():
+    index = QrpUltrapeerIndex()
+    index.add_local_files([shared("local darel montia.mp3", node=0)])
+    index.attach_leaf(1, [shared("klorena velid - live.mp3", node=1)])
+    index.attach_leaf(2, [shared("stamgrean zumvol.mp3", node=2)])
+    return index
+
+
+class TestRouting:
+    def test_matches_local_files(self, qrp):
+        assert len(qrp.match(["darel"])) == 1
+
+    def test_matches_leaf_files_via_filter(self, qrp):
+        assert len(qrp.match(["klorena"])) == 1
+        assert qrp.leaf_probes >= 1
+
+    def test_avoids_non_matching_leaves(self, qrp):
+        qrp.match(["klorena"])
+        assert qrp.avoided_probes >= 1  # leaf 2 never probed
+
+    def test_conjunctive_matching(self, qrp):
+        assert len(qrp.match(["klorena", "velid"])) == 1
+        assert qrp.match(["klorena", "zumvol"]) == []
+
+    def test_no_false_negatives_vs_exact_index(self):
+        """QRP must return every whole-token match the exact index does."""
+        files = [
+            shared("darel montia - klorena.mp3", node=1),
+            shared("bunki shordo - treaben.mp3", node=2),
+            shared("klorena velid.mp3", node=3),
+        ]
+        exact = UltrapeerIndex()
+        exact.add_files(files)
+        qrp = QrpUltrapeerIndex()
+        for i, file in enumerate(files):
+            qrp.attach_leaf(i, [file])
+        for terms in (["klorena"], ["bunki", "shordo"], ["montia"]):
+            exact_keys = {
+                f.result_key
+                for f in exact.match(terms)
+            }
+            qrp_keys = {f.result_key for f in qrp.match(terms)}
+            assert exact_keys == qrp_keys
+
+    def test_substring_queries_lost(self, qrp):
+        """The documented QRP trade-off: partial-token queries miss."""
+        assert qrp.match(["klore"]) == []  # exact index would match
+
+    def test_empty_query(self, qrp):
+        assert qrp.match([]) == []
+
+    def test_publish_bytes_accumulate(self, qrp):
+        assert qrp.publish_bytes > 0
+        assert qrp.num_leaves == 2
+
+    def test_publish_cheaper_than_file_list(self):
+        """QRP's point: a keyword filter is smaller than the file list."""
+        files = [
+            shared(f"some band name - track number {i} remastered.mp3", node=1)
+            for i in range(100)
+        ]
+        qrp = QrpUltrapeerIndex()
+        qrp.attach_leaf(1, files)
+        file_list_bytes = sum(len(f.filename) for f in files)
+        assert qrp.publish_bytes < file_list_bytes

@@ -1,0 +1,80 @@
+"""Tests for the Bloom-compressed TF scheme (Section 6.3 extension)."""
+
+import pytest
+
+from repro.hybrid.rare_items import (
+    CompressedTermFrequencyScheme,
+    TermFrequencyScheme,
+)
+
+REPLICATION = {
+    "alpha beta - gamma.mp3": 1,
+    "epsilon zeta - eta.mp3": 2,
+    "theta iota - kappa.mp3": 40,
+    "theta iota - lamda.mp3": 60,
+}
+
+
+@pytest.fixture()
+def compressed():
+    scheme = CompressedTermFrequencyScheme(frequency_threshold=5)
+    scheme.observe_corpus(REPLICATION)
+    return scheme
+
+
+class TestCompressedScheme:
+    def test_rare_items_scored_zero(self, compressed):
+        scores = compressed.rarity_scores(list(REPLICATION))
+        assert scores["alpha beta - gamma.mp3"] == 0.0
+
+    def test_popular_items_scored_one(self, compressed):
+        scores = compressed.rarity_scores(list(REPLICATION))
+        assert scores["theta iota - kappa.mp3"] == 1.0
+
+    def test_never_misclassifies_popular_as_rare(self, compressed):
+        """Bloom false positives can only make rare items look popular;
+        an item whose terms are all frequent is never flagged rare."""
+        exact = TermFrequencyScheme()
+        exact.observe_corpus(REPLICATION)
+        exact_scores = exact.rarity_scores(list(REPLICATION))
+        compressed_scores = compressed.rarity_scores(list(REPLICATION))
+        for name, score in compressed_scores.items():
+            if score == 0.0:  # flagged rare by the compressed scheme
+                assert exact_scores[name] <= compressed.frequency_threshold
+
+    def test_agrees_with_exact_tf_on_larger_corpus(self):
+        corpus = {f"band{i // 3} song{i} - take.mp3": (1 if i % 4 else 30) for i in range(200)}
+        exact = TermFrequencyScheme()
+        exact.observe_corpus(corpus)
+        compressed = CompressedTermFrequencyScheme(frequency_threshold=5)
+        compressed.observe_corpus(corpus)
+        names = list(corpus)
+        exact_rare = {
+            n for n, s in exact.rarity_scores(names).items() if s <= 5
+        }
+        compressed_rare = {
+            n for n, s in compressed.rarity_scores(names).items() if s == 0.0
+        }
+        # Compressed rare set is a subset (false positives shrink it) and
+        # catches the large majority.
+        assert compressed_rare <= exact_rare
+        assert len(compressed_rare) >= 0.8 * len(exact_rare)
+
+    def test_compression_saves_memory(self):
+        corpus = {
+            f"longartistname{i} extendedtracktitle{i} - mix.mp3": (i % 50) + 1
+            for i in range(500)
+        }
+        scheme = CompressedTermFrequencyScheme(frequency_threshold=5)
+        scheme.observe_corpus(corpus)
+        assert scheme.compressed_bytes < scheme.exact_bytes / 4
+
+    def test_observation_invalidates_filter(self, compressed):
+        compressed.compress()
+        compressed.observe_filename("fresh new terms.mp3", weight=100)
+        scores = compressed.rarity_scores(["fresh new terms.mp3"])
+        assert scores["fresh new terms.mp3"] == 1.0  # rebuilt with new stats
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            CompressedTermFrequencyScheme(frequency_threshold=0)

@@ -1,0 +1,85 @@
+"""Integration tests for the Section 7 deployment simulation."""
+
+import pytest
+
+from repro.hybrid.deployment import DeploymentConfig, run_deployment
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_deployment(
+        DeploymentConfig(
+            num_ultrapeers=400,
+            num_leaves=1600,
+            num_hybrid=30,
+            num_items=600,
+            num_background_queries=250,
+            num_test_queries=200,
+            seed=7,
+        )
+    )
+
+
+class TestDeploymentOutcomes:
+    def test_publishing_happened(self, report):
+        assert report.files_published > 0
+        assert report.publish_bytes > 0
+
+    def test_publish_cost_in_paper_range(self, report):
+        assert 1.0 < report.publish_kb_per_file < 10.0
+
+    def test_hybrid_reduces_no_result_queries(self, report):
+        assert report.hybrid_no_result_fraction <= report.gnutella_no_result_fraction
+        assert report.no_result_reduction > 0
+
+    def test_reduction_bounded_by_potential(self, report):
+        assert report.no_result_reduction <= report.potential_reduction + 1e-9
+
+    def test_oracle_fraction_lowest(self, report):
+        assert report.oracle_no_result_fraction <= report.hybrid_no_result_fraction
+
+    def test_pier_latency_reasonable(self, report):
+        # Paper: ~10-12 s first result from PIER.
+        assert 2.0 < report.mean_pier_latency < 30.0
+
+    def test_rare_query_latency_includes_timeout(self, report):
+        assert report.mean_hybrid_latency_rare > report.config.gnutella_timeout
+
+    def test_outcome_count_matches_test_queries(self, report):
+        assert len(report.outcomes) == report.config.num_test_queries
+
+
+class TestInvertedCacheVariant:
+    def test_cache_cheaper_queries_pricier_publish(self):
+        config = DeploymentConfig(
+            num_ultrapeers=300,
+            num_leaves=1200,
+            num_hybrid=20,
+            num_items=400,
+            num_background_queries=150,
+            num_test_queries=120,
+            seed=8,
+        )
+        shj = run_deployment(config)
+        from dataclasses import replace
+
+        cache = run_deployment(replace(config, inverted_cache=True))
+        assert cache.publish_kb_per_file > shj.publish_kb_per_file
+        if cache.pier_query_bytes and shj.pier_query_bytes:
+            assert cache.mean_pier_query_kb < shj.mean_pier_query_kb
+
+    def test_deterministic_given_seed(self):
+        config = DeploymentConfig(
+            num_ultrapeers=200,
+            num_leaves=800,
+            num_hybrid=10,
+            num_items=300,
+            num_background_queries=80,
+            num_test_queries=60,
+            seed=9,
+        )
+        a = run_deployment(config)
+        b = run_deployment(config)
+        assert a.files_published == b.files_published
+        assert a.gnutella_no_result_fraction == b.gnutella_no_result_fraction
+        assert a.hybrid_no_result_fraction == b.hybrid_no_result_fraction

@@ -1,0 +1,101 @@
+"""Tests for the hybrid ultrapeer's proxy and re-query logic."""
+
+import math
+
+import pytest
+
+from repro.dht.network import DhtNetwork
+from repro.hybrid.ultrapeer import HybridUltrapeer
+from repro.pier.catalog import Catalog
+from repro.piersearch.publisher import Publisher
+from repro.piersearch.search import SearchEngine
+from repro.workload.library import SharedFile
+
+
+@pytest.fixture()
+def hybrid():
+    network = DhtNetwork(rng=41)
+    nodes = network.populate(16)
+    catalog = Catalog(network)
+    publisher = Publisher(network, catalog)
+    engine = SearchEngine(network, catalog)
+    return HybridUltrapeer(
+        ultrapeer_id=1,
+        dht_node_id=nodes[0].node_id,
+        publisher=publisher,
+        search_engine=engine,
+        qrs_threshold=5,
+        gnutella_timeout=30.0,
+        dht_hop_latency=1.0,
+    )
+
+
+def shared(name, node=7):
+    return SharedFile(filename=name, filesize=100, node_id=node)
+
+
+class TestQrsPublishing:
+    def test_small_result_set_published(self, hybrid):
+        published = hybrid.observe_query_results([shared("rare song one.mp3")])
+        assert published == 1
+        assert hybrid.files_published == 1
+
+    def test_large_result_set_ignored(self, hybrid):
+        results = [shared(f"popular track {i}.mp3", node=i) for i in range(6)]
+        assert hybrid.observe_query_results(results) == 0
+
+    def test_empty_result_set_ignored(self, hybrid):
+        assert hybrid.observe_query_results([]) == 0
+
+    def test_duplicate_files_published_once(self, hybrid):
+        file = shared("rare song.mp3")
+        hybrid.observe_query_results([file])
+        hybrid.observe_query_results([file])
+        assert hybrid.files_published == 1
+
+    def test_publish_bytes_accumulate(self, hybrid):
+        hybrid.observe_query_results([shared("rare montia klorena.mp3")])
+        assert hybrid.publish_bytes > 0
+
+
+class TestHybridQueryPath:
+    def test_gnutella_success_skips_pier(self, hybrid):
+        outcome = hybrid.handle_leaf_query(["whatever"], 12, 8.0)
+        assert not outcome.used_pier
+        assert outcome.total_results == 12
+        assert outcome.first_result_latency == 8.0
+
+    def test_zero_results_triggers_pier(self, hybrid):
+        hybrid.observe_query_results([shared("rare montia klorena.mp3")])
+        outcome = hybrid.handle_leaf_query(["montia"], 0, math.inf)
+        assert outcome.used_pier
+        assert outcome.pier_results == 1
+        assert outcome.pier_latency > hybrid.gnutella_timeout
+        assert outcome.first_result_latency == outcome.pier_latency
+
+    def test_slow_gnutella_triggers_pier_but_keeps_results(self, hybrid):
+        outcome = hybrid.handle_leaf_query(["whatever"], 2, 45.0)
+        assert outcome.used_pier
+        assert outcome.gnutella_results == 2
+        assert outcome.total_results >= 2
+
+    def test_first_result_latency_picks_faster_source(self, hybrid):
+        hybrid.observe_query_results([shared("rare montia klorena.mp3")])
+        outcome = hybrid.handle_leaf_query(["montia"], 1, 90.0)
+        assert outcome.used_pier
+        assert outcome.first_result_latency < 90.0
+
+    def test_unanswerable_query_stays_empty(self, hybrid):
+        outcome = hybrid.handle_leaf_query(["nothinghere"], 0, math.inf)
+        assert outcome.used_pier
+        assert outcome.total_results == 0
+        assert math.isinf(outcome.first_result_latency)
+
+    def test_stop_word_query_cannot_requery(self, hybrid):
+        outcome = hybrid.handle_leaf_query(["the"], 0, math.inf)
+        assert outcome.pier_results == 0
+
+    def test_outcomes_recorded(self, hybrid):
+        hybrid.handle_leaf_query(["a1"], 3, 5.0)
+        hybrid.handle_leaf_query(["b2"], 0, math.inf)
+        assert len(hybrid.outcomes) == 2

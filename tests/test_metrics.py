@@ -1,0 +1,87 @@
+"""Tests for QR/QDR metrics and CDF helpers."""
+
+import pytest
+
+from repro.metrics.cdf import cdf_at, discrete_cdf, fraction_at_most
+from repro.metrics.recall import (
+    query_distinct_recall,
+    query_recall,
+    recall_summary,
+)
+from repro.workload.library import SharedFile
+
+
+def files(*specs):
+    return [SharedFile(filename=name, filesize=1, node_id=node) for name, node in specs]
+
+
+class TestQueryRecall:
+    def test_full_recall(self):
+        available = files(("a", 1), ("a", 2))
+        assert query_recall(available, available) == 1.0
+
+    def test_partial_recall_counts_replicas(self):
+        available = files(("a", 1), ("a", 2), ("b", 3))
+        returned = files(("a", 1))
+        assert query_recall(returned, available) == pytest.approx(1 / 3)
+
+    def test_no_available_results_is_perfect(self):
+        assert query_recall([], []) == 1.0
+
+    def test_spurious_results_ignored(self):
+        available = files(("a", 1))
+        returned = files(("a", 1), ("zzz", 9))
+        assert query_recall(returned, available) == 1.0
+
+
+class TestQueryDistinctRecall:
+    def test_replicas_collapse(self):
+        available = files(("a", 1), ("a", 2), ("b", 3))
+        returned = files(("a", 1))
+        assert query_distinct_recall(returned, available) == pytest.approx(0.5)
+
+    def test_extra_replica_does_not_help(self):
+        available = files(("a", 1), ("a", 2))
+        one = query_distinct_recall(files(("a", 1)), available)
+        both = query_distinct_recall(files(("a", 1), ("a", 2)), available)
+        assert one == both == 1.0
+
+    def test_qdr_at_least_qr(self):
+        available = files(("a", 1), ("a", 2), ("a", 3), ("b", 4))
+        returned = files(("a", 1), ("b", 4))
+        assert query_distinct_recall(returned, available) >= query_recall(
+            returned, available
+        )
+
+
+class TestRecallSummary:
+    def test_averages(self):
+        available = files(("a", 1), ("b", 2))
+        pairs = [
+            (files(("a", 1)), available),
+            (available, available),
+        ]
+        summary = recall_summary(pairs)
+        assert summary.average_qr == pytest.approx(0.75)
+        assert summary.average_qdr == pytest.approx(0.75)
+        assert summary.num_queries == 2
+
+    def test_empty(self):
+        summary = recall_summary([])
+        assert summary.num_queries == 0
+
+
+class TestCdfHelpers:
+    def test_discrete_cdf(self):
+        points = discrete_cdf([1, 1, 3])
+        assert points == [(1, pytest.approx(2 / 3)), (3, pytest.approx(1.0))]
+
+    def test_fraction_at_most(self):
+        assert fraction_at_most([1, 2, 3, 4], 2) == 0.5
+        assert fraction_at_most([], 2) == 0.0
+
+    def test_cdf_at(self):
+        points = discrete_cdf([1, 2, 3, 4])
+        assert cdf_at(points, 2.5) == 0.5
+        assert cdf_at(points, 0) == 0.0
+        assert cdf_at(points, 99) == 1.0

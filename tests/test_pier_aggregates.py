@@ -1,0 +1,115 @@
+"""Tests for the aggregation/ordering operators (PIER substrate)."""
+
+import pytest
+
+from repro.pier.operators import (
+    Distinct,
+    GroupByAggregate,
+    OrderByLimit,
+    Scan,
+)
+
+ROWS = [
+    {"artist": "a", "size": 10},
+    {"artist": "a", "size": 30},
+    {"artist": "b", "size": 5},
+    {"artist": "b", "size": 5},
+    {"artist": "c", "size": 100},
+]
+
+
+class TestDistinct:
+    def test_removes_duplicates(self):
+        out = Distinct(Scan(ROWS)).rows()
+        assert len(out) == 4
+
+    def test_preserves_first_occurrence_order(self):
+        rows = [{"x": 2}, {"x": 1}, {"x": 2}]
+        assert Distinct(Scan(rows)).rows() == [{"x": 2}, {"x": 1}]
+
+    def test_empty(self):
+        assert Distinct(Scan([])).rows() == []
+
+
+class TestGroupByAggregate:
+    def test_count_per_group(self):
+        out = GroupByAggregate(
+            Scan(ROWS), ("artist",), {"n": ("count", "size")}
+        ).rows()
+        by_artist = {row["artist"]: row["n"] for row in out}
+        assert by_artist == {"a": 2, "b": 2, "c": 1}
+
+    def test_sum_min_max_avg(self):
+        out = GroupByAggregate(
+            Scan(ROWS),
+            ("artist",),
+            {
+                "total": ("sum", "size"),
+                "smallest": ("min", "size"),
+                "largest": ("max", "size"),
+                "mean": ("avg", "size"),
+            },
+        ).rows()
+        a = next(row for row in out if row["artist"] == "a")
+        assert a == {
+            "artist": "a", "total": 40, "smallest": 10, "largest": 30, "mean": 20.0,
+        }
+
+    def test_global_aggregate_with_empty_group_by(self):
+        out = GroupByAggregate(Scan(ROWS), (), {"n": ("count", "size")}).rows()
+        assert out == [{"n": 5}]
+
+    def test_empty_input_yields_no_groups(self):
+        out = GroupByAggregate(Scan([]), ("artist",), {"n": ("count", "x")}).rows()
+        assert out == []
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(ValueError):
+            GroupByAggregate(Scan([]), (), {"n": ("median", "x")})
+
+    def test_replication_factor_query(self):
+        """The statistic behind Figure 4 as a PIER aggregate: replicas per
+        distinct filename."""
+        inverted = [
+            {"keyword": "toxic", "fileID": f"f{i}", "filename": "toxic.mp3"}
+            for i in range(3)
+        ] + [{"keyword": "toxic", "fileID": "g1", "filename": "toxic waste.mp3"}]
+        out = GroupByAggregate(
+            Scan(inverted), ("filename",), {"replicas": ("count", "fileID")}
+        ).rows()
+        by_name = {row["filename"]: row["replicas"] for row in out}
+        assert by_name == {"toxic.mp3": 3, "toxic waste.mp3": 1}
+
+
+class TestOrderByLimit:
+    def test_ascending(self):
+        out = OrderByLimit(Scan(ROWS), "size").rows()
+        assert [row["size"] for row in out] == [5, 5, 10, 30, 100]
+
+    def test_descending_with_limit(self):
+        out = OrderByLimit(Scan(ROWS), "size", descending=True, limit=2).rows()
+        assert [row["size"] for row in out] == [100, 30]
+
+    def test_limit_zero(self):
+        assert OrderByLimit(Scan(ROWS), "size", limit=0).rows() == []
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            OrderByLimit(Scan([]), "size", limit=-1)
+
+    def test_top_k_popular_items_pipeline(self):
+        """Compose group-by + order-by: the 'most replicated items' query."""
+        inverted = [
+            {"filename": name, "fileID": f"{name}-{i}"}
+            for name, count in (("a.mp3", 5), ("b.mp3", 2), ("c.mp3", 9))
+            for i in range(count)
+        ]
+        pipeline = OrderByLimit(
+            GroupByAggregate(
+                Scan(inverted), ("filename",), {"replicas": ("count", "fileID")}
+            ),
+            "replicas",
+            descending=True,
+            limit=2,
+        )
+        assert [row["filename"] for row in pipeline.rows()] == ["c.mp3", "a.mp3"]

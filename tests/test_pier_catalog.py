@@ -1,0 +1,92 @@
+"""Unit tests for the PIER catalog and table handles."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.dht.network import DhtNetwork
+from repro.pier.catalog import Catalog, table_key
+from repro.pier.schema import INVERTED_SCHEMA, ITEM_SCHEMA
+
+
+@pytest.fixture()
+def catalog():
+    network = DhtNetwork(rng=2)
+    network.populate(32)
+    cat = Catalog(network)
+    cat.register(ITEM_SCHEMA)
+    cat.register(INVERTED_SCHEMA)
+    return cat
+
+
+class TestRegistry:
+    def test_register_and_lookup(self, catalog):
+        assert catalog.table("Item").schema is ITEM_SCHEMA
+
+    def test_duplicate_registration_rejected(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.register(ITEM_SCHEMA)
+
+    def test_unknown_table_rejected(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.table("Nope")
+
+    def test_contains_and_names(self, catalog):
+        assert "Item" in catalog
+        assert "Nope" not in catalog
+        assert catalog.names() == ["Inverted", "Item"]
+
+
+class TestTableKey:
+    def test_same_table_same_value_same_key(self):
+        assert table_key("Inverted", "toxic") == table_key("Inverted", "toxic")
+
+    def test_different_tables_different_keys(self):
+        assert table_key("Inverted", "x") != table_key("Item", "x")
+
+
+class TestPublishFetch:
+    def test_publish_then_fetch(self, catalog):
+        row = {"keyword": "toxic", "fileID": "f1"}
+        catalog.table("Inverted").publish(row)
+        assert catalog.table("Inverted").fetch("toxic") == [row]
+
+    def test_fetch_missing_returns_empty(self, catalog):
+        assert catalog.table("Inverted").fetch("nothing") == []
+
+    def test_same_keyword_lands_on_one_node(self, catalog):
+        """All Inverted tuples for one keyword must share a hosting node."""
+        handle = catalog.table("Inverted")
+        for i in range(5):
+            handle.publish({"keyword": "shared", "fileID": f"f{i}"})
+        host = handle.host_of("shared")
+        assert len(handle.fetch_local(host, "shared")) == 5
+
+    def test_publish_validates_schema(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.table("Inverted").publish({"keyword": "only"})
+
+    def test_publish_deduplicates_primary_key(self, catalog):
+        handle = catalog.table("Inverted")
+        row = {"keyword": "dup", "fileID": "f1"}
+        handle.publish(row)
+        handle.publish(dict(row))
+        assert len(handle.fetch("dup")) == 1
+
+    def test_scan_all_iterates_unique_rows(self, catalog):
+        handle = catalog.table("Inverted")
+        for i in range(7):
+            handle.publish({"keyword": f"k{i}", "fileID": "f"})
+        assert len(list(handle.scan_all())) == 7
+
+    def test_scan_all_distinguishes_tables(self, catalog):
+        catalog.table("Inverted").publish({"keyword": "k", "fileID": "f"})
+        catalog.table("Item").publish(
+            {
+                "fileID": "f",
+                "filename": "x.mp3",
+                "filesize": 1,
+                "ipAddress": "1.1.1.1",
+                "port": 1,
+            }
+        )
+        assert len(list(catalog.table("Item").scan_all())) == 1

@@ -1,0 +1,137 @@
+"""Unit tests for the local physical operators."""
+
+from repro.pier.operators import (
+    HashJoin,
+    Projection,
+    Scan,
+    Selection,
+    SubstringFilter,
+    SymmetricHashJoin,
+    intersect_on,
+)
+
+
+def rows_of(values):
+    return [{"k": value} for value in values]
+
+
+class TestScan:
+    def test_yields_rows(self):
+        assert Scan(rows_of([1, 2])).rows() == rows_of([1, 2])
+
+    def test_len(self):
+        assert len(Scan(rows_of([1, 2, 3]))) == 3
+
+    def test_reiterable(self):
+        scan = Scan(rows_of([1]))
+        assert scan.rows() == scan.rows()
+
+
+class TestSelection:
+    def test_filters(self):
+        out = Selection(Scan(rows_of([1, 2, 3])), lambda r: r["k"] > 1).rows()
+        assert out == rows_of([2, 3])
+
+    def test_empty_input(self):
+        assert Selection(Scan([]), lambda r: True).rows() == []
+
+
+class TestProjection:
+    def test_keeps_columns(self):
+        rows = [{"a": 1, "b": 2}]
+        assert Projection(Scan(rows), ("a",)).rows() == [{"a": 1}]
+
+    def test_deduplicates(self):
+        rows = [{"a": 1, "b": 2}, {"a": 1, "b": 3}]
+        assert Projection(Scan(rows), ("a",)).rows() == [{"a": 1}]
+
+
+class TestSubstringFilter:
+    def test_case_insensitive_by_default(self):
+        rows = [{"fulltext": "Britney Spears - Toxic.mp3"}]
+        assert SubstringFilter(Scan(rows), "fulltext", "TOXIC").rows() == rows
+
+    def test_case_sensitive_option(self):
+        rows = [{"fulltext": "Toxic"}]
+        out = SubstringFilter(
+            Scan(rows), "fulltext", "toxic", case_sensitive=True
+        ).rows()
+        assert out == []
+
+    def test_no_match(self):
+        rows = [{"fulltext": "something"}]
+        assert SubstringFilter(Scan(rows), "fulltext", "absent").rows() == []
+
+    def test_chained_filters_conjunctive(self):
+        rows = [
+            {"fulltext": "britney toxic"},
+            {"fulltext": "britney lucky"},
+        ]
+        op = SubstringFilter(
+            SubstringFilter(Scan(rows), "fulltext", "britney"),
+            "fulltext",
+            "toxic",
+        )
+        assert op.rows() == [{"fulltext": "britney toxic"}]
+
+
+class TestHashJoin:
+    def test_basic_join(self):
+        left = [{"id": 1, "l": "a"}]
+        right = [{"id": 1, "r": "b"}, {"id": 2, "r": "c"}]
+        out = HashJoin(Scan(left), Scan(right), "id").rows()
+        assert out == [{"id": 1, "l": "a", "r": "b"}]
+
+    def test_duplicate_matches_multiply(self):
+        left = [{"id": 1, "l": "a"}, {"id": 1, "l": "b"}]
+        right = [{"id": 1, "r": "x"}]
+        assert len(HashJoin(Scan(left), Scan(right), "id").rows()) == 2
+
+    def test_empty_sides(self):
+        assert HashJoin(Scan([]), Scan(rows_of([1])), "k").rows() == []
+        assert HashJoin(Scan(rows_of([1])), Scan([]), "k").rows() == []
+
+
+class TestSymmetricHashJoin:
+    def test_same_result_as_hash_join(self):
+        left = [{"id": i, "l": i} for i in range(10)]
+        right = [{"id": i, "r": i} for i in range(5, 15)]
+        shj = {
+            tuple(sorted(row.items()))
+            for row in SymmetricHashJoin(Scan(left), Scan(right), "id")
+        }
+        hj = {
+            tuple(sorted(row.items()))
+            for row in HashJoin(Scan(left), Scan(right), "id")
+        }
+        assert shj == hj
+
+    def test_streams_with_unbalanced_inputs(self):
+        left = [{"id": 1, "l": "a"}]
+        right = [{"id": i, "r": i} for i in range(100)]
+        out = SymmetricHashJoin(Scan(left), Scan(right), "id").rows()
+        assert len(out) == 1
+
+    def test_peak_table_sizes_tracked(self):
+        join = SymmetricHashJoin(
+            Scan(rows_of(range(10))), Scan(rows_of(range(10))), "k"
+        )
+        join.rows()
+        assert join.peak_left_table == 10
+        assert join.peak_right_table == 10
+
+    def test_duplicate_join_keys(self):
+        left = [{"id": 1, "l": "a"}, {"id": 1, "l": "b"}]
+        right = [{"id": 1, "r": "x"}, {"id": 1, "r": "y"}]
+        assert len(SymmetricHashJoin(Scan(left), Scan(right), "id").rows()) == 4
+
+
+class TestIntersectOn:
+    def test_intersection(self):
+        a = rows_of([1, 2, 3])
+        b = rows_of([2, 3, 4])
+        c = rows_of([3, 4, 5])
+        assert intersect_on("k", a, b, c) == rows_of([3])
+
+    def test_empty_args(self):
+        assert intersect_on("k") == []

@@ -1,0 +1,84 @@
+"""Tests for PIER's temporary-tuple storage in the DHT."""
+
+import pytest
+
+from repro.dht.network import DhtNetwork
+from repro.pier.catalog import Catalog
+from repro.pier.executor import DistributedExecutor
+from repro.pier.planner import KeywordPlanner
+from repro.piersearch.publisher import Publisher
+
+FILES = [
+    ("darel montia - klorena.mp3", "1.0.0.1"),
+    ("darel montia - velid.mp3", "1.0.0.2"),
+    ("darel bonzo - klorena.mp3", "1.0.0.3"),
+]
+
+
+@pytest.fixture()
+def env():
+    network = DhtNetwork(rng=71)
+    network.populate(32)
+    catalog = Catalog(network)
+    publisher = Publisher(network, catalog)
+    for filename, ip in FILES:
+        publisher.publish_file(filename, 100, ip, 6346)
+    planner = KeywordPlanner(catalog)
+    executor = DistributedExecutor(network, catalog, store_temp_tuples=True)
+    return network, planner, executor
+
+
+class TestTempTuples:
+    def run_join(self, env, terms):
+        network, planner, executor = env
+        plan = planner.plan(terms, network.random_node_id(), order_by_size=False)
+        rows, stats = executor.execute(plan)
+        return plan, rows, stats
+
+    def test_intermediate_state_stored_at_join_site(self, env):
+        network, planner, executor = env
+        plan, rows, _ = self.run_join(env, ["darel", "klorena"])
+        stashed = executor.temp_tuples_at(plan.stages[1].site, stage_index=1)
+        assert {row["fileID"] for row in stashed} == {row["fileID"] for row in rows}
+
+    def test_results_unchanged_by_stashing(self, env):
+        network, planner, _ = env
+        plain = DistributedExecutor(network, planner.catalog, store_temp_tuples=False)
+        stashing = DistributedExecutor(network, planner.catalog, store_temp_tuples=True)
+        plan_a = planner.plan(["darel", "montia"], network.random_node_id())
+        plan_b = planner.plan(["darel", "montia"], network.random_node_id())
+        rows_a, _ = plain.execute(plan_a)
+        rows_b, _ = stashing.execute(plan_b)
+        assert {r["fileID"] for r in rows_a} == {r["fileID"] for r in rows_b}
+
+    def test_release_removes_everything(self, env):
+        network, planner, executor = env
+        plan, _, _ = self.run_join(env, ["darel", "klorena"])
+        site = plan.stages[1].site
+        assert executor.temp_tuples_at(site, 1)
+        removed = executor.release_temp_tuples()
+        assert removed > 0
+        assert executor.temp_tuples_at(site, 1) == []
+
+    def test_queries_get_distinct_temp_keys(self, env):
+        network, planner, executor = env
+        plan1, rows1, _ = self.run_join(env, ["darel", "klorena"])
+        plan2, rows2, _ = self.run_join(env, ["darel", "montia"])
+        first = executor.temp_tuples_at(plan1.stages[1].site, 1, query_id=1)
+        second = executor.temp_tuples_at(plan2.stages[1].site, 1, query_id=2)
+        assert {r["fileID"] for r in first} == {r["fileID"] for r in rows1}
+        assert {r["fileID"] for r in second} == {r["fileID"] for r in rows2}
+
+    def test_disabled_by_default(self, env):
+        network, planner, _ = env
+        executor = DistributedExecutor(network, planner.catalog)
+        plan = planner.plan(["darel", "klorena"], network.random_node_id())
+        executor.execute(plan)
+        assert executor.release_temp_tuples() == 0
+
+    def test_empty_join_stashes_nothing(self, env):
+        network, planner, executor = env
+        plan = planner.plan(["velid", "bonzo"], network.random_node_id())
+        rows, _ = executor.execute(plan)
+        assert rows == []
+        assert executor.release_temp_tuples() == 0

@@ -1,0 +1,100 @@
+"""Tests for the PIERSearch Publisher."""
+
+import pytest
+
+from repro.dht.network import DhtNetwork
+from repro.pier.catalog import Catalog
+from repro.piersearch.publisher import Publisher, compute_file_id
+
+
+@pytest.fixture()
+def env():
+    network = DhtNetwork(rng=21)
+    network.populate(32)
+    catalog = Catalog(network)
+    return network, catalog
+
+
+class TestFileId:
+    def test_deterministic(self):
+        a = compute_file_id("x.mp3", 100, "1.1.1.1", 6346)
+        b = compute_file_id("x.mp3", 100, "1.1.1.1", 6346)
+        assert a == b
+
+    def test_distinct_hosts_distinct_ids(self):
+        a = compute_file_id("x.mp3", 100, "1.1.1.1", 6346)
+        b = compute_file_id("x.mp3", 100, "1.1.1.2", 6346)
+        assert a != b
+
+
+class TestPublish:
+    def test_publishes_item_and_inverted_tuples(self, env):
+        network, catalog = env
+        publisher = Publisher(network, catalog)
+        receipt = publisher.publish_file("darel montia.mp3", 100, "1.1.1.1", 6346)
+        assert receipt.keywords == ("darel", "montia")
+        assert receipt.tuples_published == 3  # 1 Item + 2 Inverted
+        assert publisher.items.fetch(receipt.file_id)
+        assert publisher.inverted.fetch("darel")
+        assert publisher.inverted.fetch("montia")
+
+    def test_inverted_cache_mode_populates_cache_table(self, env):
+        network, catalog = env
+        publisher = Publisher(network, catalog, inverted_cache=True)
+        receipt = publisher.publish_file("darel montia.mp3", 100, "1.1.1.1", 6346)
+        cached = publisher.cache.fetch("darel")
+        assert cached and cached[0]["fulltext"] == "darel montia.mp3"
+        assert publisher.inverted.fetch("darel") == []
+
+    def test_stop_word_only_filename_gets_no_postings(self, env):
+        network, catalog = env
+        publisher = Publisher(network, catalog)
+        receipt = publisher.publish_file("the of.mp3", 100, "1.1.1.1", 6346)
+        assert receipt.keywords == ()
+        assert receipt.tuples_published == 1
+
+    def test_receipt_costs_positive(self, env):
+        network, catalog = env
+        publisher = Publisher(network, catalog)
+        receipt = publisher.publish_file("darel montia.mp3", 100, "1.1.1.1", 6346)
+        assert receipt.bytes > 0
+        assert receipt.messages > 0
+
+    def test_publish_cost_magnitude_matches_paper(self, env):
+        """Section 7 reports ~3.5 KB per published file."""
+        network, catalog = env
+        publisher = Publisher(network, catalog)
+        names = [
+            "darel montia - klorena velid.mp3",
+            "stamgrean zumvol - bunki.avi",
+            "limdoval treaben - prishea dron.mp3",
+        ]
+        for i, name in enumerate(names):
+            publisher.publish_file(name, 1000 + i, f"1.1.1.{i}", 6346)
+        kb = publisher.average_bytes_per_file / 1024
+        assert 1.5 < kb < 8.0
+
+    def test_inverted_cache_costs_more_than_plain(self, env):
+        """Averaged over files (routing hops vary per fileID), the
+        InvertedCache option must cost more to publish — the Section 7
+        3.5 KB vs 4 KB comparison."""
+        network, catalog = env
+        plain = Publisher(network, catalog)
+        cached = Publisher(network, catalog, inverted_cache=True)
+        names = [f"darel montia - klorena velid track{i}.mp3" for i in range(10)]
+        for i, name in enumerate(names):
+            plain.publish_file(name, 100, f"1.1.1.{i}", 6346)
+            cached.publish_file(name, 100, f"2.2.2.{i}", 6346)
+        assert cached.average_bytes_per_file > plain.average_bytes_per_file
+
+    def test_average_bytes_empty_publisher(self, env):
+        network, catalog = env
+        assert Publisher(network, catalog).average_bytes_per_file == 0.0
+
+    def test_keywords_coalesce_on_one_node(self, env):
+        network, catalog = env
+        publisher = Publisher(network, catalog)
+        for i in range(4):
+            publisher.publish_file(f"shared keyword{i} montia.mp3", i, f"1.1.1.{i}", 1)
+        host = publisher.inverted.host_of("montia")
+        assert len(publisher.inverted.fetch_local(host, "montia")) == 4

@@ -1,0 +1,86 @@
+"""Property-based tests for the extension components."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.bloom import BloomFilter
+from repro.hybrid.rare_items import PerfectScheme, published_for_budget
+
+terms = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=16
+)
+
+
+class TestBloomProperties:
+    @given(items=st.lists(terms, min_size=1, max_size=120, unique=True))
+    @settings(max_examples=40)
+    def test_no_false_negatives_ever(self, items):
+        bloom = BloomFilter.with_capacity(len(items))
+        bloom.update(items)
+        assert all(item in bloom for item in items)
+
+    @given(
+        items=st.lists(terms, min_size=1, max_size=60, unique=True),
+        rate=st.floats(min_value=0.001, max_value=0.2),
+    )
+    @settings(max_examples=30)
+    def test_sizing_respects_rate_monotonicity(self, items, rate):
+        strict = BloomFilter.with_capacity(len(items), false_positive_rate=rate / 2)
+        loose = BloomFilter.with_capacity(len(items), false_positive_rate=rate)
+        assert strict.num_bits >= loose.num_bits
+
+    @given(items=st.lists(terms, min_size=1, max_size=60, unique=True))
+    @settings(max_examples=30)
+    def test_fill_ratio_bounded(self, items):
+        bloom = BloomFilter.with_capacity(len(items))
+        bloom.update(items)
+        assert 0.0 < bloom.fill_ratio <= 1.0
+        assert 0.0 <= bloom.estimated_false_positive_rate() <= 1.0
+
+
+class TestBudgetPublishingProperties:
+    replications = st.dictionaries(
+        keys=terms, values=st.integers(min_value=1, max_value=500),
+        min_size=1, max_size=60,
+    )
+
+    @given(replication=replications, budget=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50)
+    def test_budget_count_exact(self, replication, budget):
+        filenames = list(replication)
+        scores = PerfectScheme(replication).rarity_scores(filenames)
+        published = published_for_budget(scores, filenames, budget, rng=1)
+        assert len(published) == int(round(budget * len(filenames)))
+
+    @given(replication=replications)
+    @settings(max_examples=50)
+    def test_published_set_is_rarest_prefix(self, replication):
+        """With Perfect scores, every published item is at most as
+        replicated as every unpublished item."""
+        filenames = list(replication)
+        scores = PerfectScheme(replication).rarity_scores(filenames)
+        published = published_for_budget(scores, filenames, 0.5, rng=2)
+        unpublished = set(filenames) - published
+        if published and unpublished:
+            assert max(replication[n] for n in published) <= min(
+                replication[n] for n in unpublished
+            ) or True  # ties broken randomly may interleave equal scores
+            # Strict check modulo ties:
+            max_pub = max(replication[n] for n in published)
+            min_unpub = min(replication[n] for n in unpublished)
+            assert max_pub <= min_unpub or max_pub == min_unpub
+
+    @given(
+        replication=replications,
+        small=st.floats(min_value=0.0, max_value=0.5),
+        large=st.floats(min_value=0.5, max_value=1.0),
+    )
+    @settings(max_examples=50)
+    def test_budgets_nest(self, replication, small, large):
+        """A bigger budget publishes a superset (same scores, same rng)."""
+        filenames = list(replication)
+        scores = PerfectScheme(replication).rarity_scores(filenames)
+        published_small = published_for_budget(scores, filenames, small, rng=3)
+        published_large = published_for_budget(scores, filenames, large, rng=3)
+        assert published_small <= published_large

@@ -1,0 +1,41 @@
+"""Tests for the small simulation helpers (Process, run_callbacks)."""
+
+from repro.sim.engine import Process, Simulator, run_callbacks
+
+
+class TestProcess:
+    def test_after_schedules_on_owner_clock(self):
+        sim = Simulator()
+        process = Process(sim)
+        fired = []
+        process.after(2.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.0]
+
+    def test_multiple_processes_share_clock(self):
+        sim = Simulator()
+        a, b = Process(sim), Process(sim)
+        fired = []
+        a.after(1.0, lambda: fired.append("a"))
+        b.after(0.5, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["b", "a"]
+
+
+class TestRunCallbacks:
+    def test_runs_in_order_and_collects(self):
+        log = []
+
+        def make(i):
+            def callback():
+                log.append(i)
+                return i * 10
+
+            return callback
+
+        results = run_callbacks([make(1), make(2), make(3)])
+        assert results == [10, 20, 30]
+        assert log == [1, 2, 3]
+
+    def test_empty(self):
+        assert run_callbacks([]) == []

@@ -1,0 +1,95 @@
+"""Unit tests for the simulated message network."""
+
+import random
+
+from repro.sim.engine import Simulator
+from repro.sim.latency import UniformLatencyModel
+from repro.sim.network import Message, SimNetwork
+
+
+def make_network():
+    sim = Simulator()
+    net = SimNetwork(sim, latency=UniformLatencyModel(0.01, 0.02), rng=random.Random(1))
+    return sim, net
+
+
+class TestDelivery:
+    def test_message_delivered_to_handler(self):
+        sim, net = make_network()
+        received = []
+        net.register(2, received.append)
+        net.send(Message(source=1, destination=2, kind="ping", payload="hello"))
+        sim.run()
+        assert len(received) == 1
+        assert received[0].payload == "hello"
+
+    def test_latency_applied(self):
+        sim, net = make_network()
+        times = []
+        net.register(2, lambda m: times.append(sim.now))
+        net.send(Message(source=1, destination=2, kind="ping"))
+        sim.run()
+        assert 0.01 <= times[0] <= 0.02
+
+    def test_unknown_destination_dropped(self):
+        sim, net = make_network()
+        net.send(Message(source=1, destination=99, kind="ping"))
+        sim.run()
+        assert net.dropped == 1
+
+    def test_bandwidth_metered(self):
+        sim, net = make_network()
+        net.register(2, lambda m: None)
+        net.send(Message(source=1, destination=2, kind="data", size_bytes=500))
+        assert net.meter.bytes == 500
+        assert net.meter.by_category["data"].messages == 1
+
+    def test_unregister_stops_delivery(self):
+        sim, net = make_network()
+        received = []
+        net.register(2, received.append)
+        net.unregister(2)
+        net.send(Message(source=1, destination=2, kind="ping"))
+        sim.run()
+        assert not received
+        assert net.dropped == 1
+
+
+class TestPartitions:
+    def test_partitioned_destination_drops(self):
+        sim, net = make_network()
+        received = []
+        net.register(2, received.append)
+        net.partition(2)
+        net.send(Message(source=1, destination=2, kind="ping"))
+        sim.run()
+        assert not received
+
+    def test_heal_restores_delivery(self):
+        sim, net = make_network()
+        received = []
+        net.register(2, received.append)
+        net.partition(2)
+        net.heal(2)
+        net.send(Message(source=1, destination=2, kind="ping"))
+        sim.run()
+        assert len(received) == 1
+
+    def test_partition_mid_flight_drops_at_delivery(self):
+        sim, net = make_network()
+        received = []
+        net.register(2, received.append)
+        net.send(Message(source=1, destination=2, kind="ping"))
+        net.partition(2)  # partition after send, before delivery
+        sim.run()
+        assert not received
+        assert net.dropped == 1
+
+    def test_partitioned_source_cannot_send(self):
+        sim, net = make_network()
+        received = []
+        net.register(2, received.append)
+        net.partition(1)
+        net.send(Message(source=1, destination=2, kind="ping"))
+        sim.run()
+        assert not received

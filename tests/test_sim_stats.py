@@ -1,0 +1,78 @@
+"""Unit tests for counters and histograms."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import Counter, Histogram, StatsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("x").value == 0
+
+    def test_add(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add(5)
+        assert counter.value == 6
+
+
+class TestHistogram:
+    def test_mean(self):
+        hist = Histogram("lat")
+        hist.extend([1.0, 2.0, 3.0])
+        assert hist.mean == 2.0
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(Histogram("x").mean)
+
+    def test_min_max(self):
+        hist = Histogram("x")
+        hist.extend([5.0, 1.0, 3.0])
+        assert hist.minimum == 1.0
+        assert hist.maximum == 5.0
+
+    def test_quantiles(self):
+        hist = Histogram("x")
+        hist.extend(list(range(1, 101)))
+        assert hist.quantile(0.5) == 50
+        assert hist.quantile(0.99) == 99
+        assert hist.quantile(1.0) == 100
+        assert hist.quantile(0.0) == 1
+
+    def test_quantile_rejects_out_of_range(self):
+        hist = Histogram("x")
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_cdf_points_end_at_one(self):
+        hist = Histogram("x")
+        hist.extend([1.0, 1.0, 2.0])
+        points = hist.cdf_points()
+        assert points[-1] == (2.0, 1.0)
+        assert points[0] == (1.0, pytest.approx(2 / 3))
+
+    def test_len_and_count(self):
+        hist = Histogram("x")
+        hist.extend([1.0, 2.0])
+        assert len(hist) == 2
+        assert hist.count == 2
+
+
+class TestStatsRegistry:
+    def test_counter_created_once(self):
+        registry = StatsRegistry()
+        registry.counter("a").add(3)
+        registry.counter("a").add(2)
+        assert registry.counter("a").value == 5
+
+    def test_summary_contains_all(self):
+        registry = StatsRegistry()
+        registry.counter("msgs").add(7)
+        registry.histogram("lat").observe(1.5)
+        summary = registry.summary()
+        assert summary["msgs"] == 7
+        assert summary["lat.mean"] == 1.5
+        assert summary["lat.count"] == 1
