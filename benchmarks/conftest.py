@@ -20,6 +20,13 @@ from repro.experiments.common import (
 )
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ is a heavyweight (slow-marked) suite."""
+    for item in items:
+        if "benchmarks" in item.path.parts:
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def scale():
     return SMALL_SCALE

@@ -1,10 +1,9 @@
 """Micro-benchmarks for the substrates: DHT routing, flooding, SHJ,
 publishing. These time the primitives every experiment is built from."""
 
-import random
-
 import pytest
 
+from repro.common.rng import make_rng
 from repro.dht.network import DhtNetwork
 from repro.gnutella.flooding import flood
 from repro.gnutella.topology import TopologyConfig, build_topology
@@ -21,7 +20,7 @@ def dht():
 
 
 def test_dht_lookup(benchmark, dht):
-    rng = random.Random(302)
+    rng = make_rng(302)
     keys = [rng.getrandbits(160) for _ in range(100)]
 
     def lookups():

@@ -12,7 +12,7 @@ from __future__ import annotations
 import bisect
 import random
 from dataclasses import dataclass, field
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
 
 from repro.common.errors import DhtError, KeyNotFoundError, NodeNotFoundError
 from repro.common.ids import KEY_SPACE, hash_key
@@ -58,6 +58,13 @@ class DhtNetwork:
         self._ring: list[int] = []  # sorted node ids
         self.meter = BandwidthMeter()
         self._stale = False
+        # --- replica-aware read path (repro.cache.replication) --------
+        #: called as (key, serving_node) on every read-target resolution
+        self.read_listener: Callable[[int, int], None] | None = None
+        #: called with the node id on every membership removal
+        self.removal_listener: Callable[[int], None] | None = None
+        self._replica_sets: dict[int, list[int]] = {}
+        self._replica_cursor: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Membership
@@ -97,6 +104,14 @@ class DhtNetwork:
                 for value in values:
                     target.store.put(key, value, identity=_identity(value))
         node.alive = False
+        for key in list(self._replica_sets):
+            holders = [nid for nid in self._replica_sets[key] if nid != node_id]
+            if holders:
+                self._replica_sets[key] = holders
+            else:
+                self.unregister_replicas(key)
+        if self.removal_listener is not None:
+            self.removal_listener(node_id)
 
     def stabilize(self) -> None:
         """Refresh every node's routing state from the current ring."""
@@ -126,6 +141,53 @@ class DhtNetwork:
         if not self._ring:
             raise DhtError("empty network")
         return responsible_node(self._ring, key % KEY_SPACE)
+
+    # ------------------------------------------------------------------
+    # Replica-aware reads (driven by repro.cache.replication)
+    # ------------------------------------------------------------------
+
+    def register_replicas(self, key: int, node_ids: list[int]) -> None:
+        """Declare that ``node_ids`` hold serveable copies of ``key``.
+
+        Reads of ``key`` then rotate round-robin over the owner and these
+        replicas, spreading a hot key's load across the successor set.
+        """
+        key %= KEY_SPACE
+        holders = [node_id for node_id in node_ids if node_id in self.nodes]
+        if holders:
+            self._replica_sets[key] = holders
+            self._replica_cursor.setdefault(key, 0)
+
+    def unregister_replicas(self, key: int) -> list[int]:
+        """Forget ``key``'s replica set; returns the former holders."""
+        key %= KEY_SPACE
+        self._replica_cursor.pop(key, None)
+        return self._replica_sets.pop(key, [])
+
+    def replica_nodes(self, key: int) -> list[int]:
+        """Currently registered replica holders for ``key``."""
+        return list(self._replica_sets.get(key % KEY_SPACE, ()))
+
+    def serving_node(self, key: int, notify: bool = True) -> int:
+        """The node that should answer the next read of ``key``.
+
+        Without registered replicas this is the ring owner (the classic
+        DHT read path). With replicas it rotates round-robin over owner +
+        replicas. Every resolution is reported to ``read_listener`` — the
+        hook the adaptive replication controller uses to find hot keys.
+        """
+        key %= KEY_SPACE
+        owner = self.owner_of(key)
+        replicas = self._replica_sets.get(key)
+        target = owner
+        if replicas:
+            choices = [owner] + [nid for nid in replicas if nid != owner and nid in self.nodes]
+            cursor = self._replica_cursor.get(key, 0)
+            target = choices[cursor % len(choices)]
+            self._replica_cursor[key] = (cursor + 1) % len(choices)
+        if notify and self.read_listener is not None:
+            self.read_listener(key, target)
+        return target
 
     def lookup(self, key: int, origin: int | None = None) -> LookupResult:
         """Route ``key`` from ``origin`` to its owner using local state only.
@@ -188,6 +250,7 @@ class DhtNetwork:
         category: str = "dht.put",
     ) -> LookupResult:
         """Publish under an already-hashed key. See :meth:`put`."""
+        key %= KEY_SPACE
         result = self.lookup(key, origin)
         owner = self.nodes[result.owner]
         owner.store.put(key, value, identity=identity)
@@ -203,6 +266,21 @@ class DhtNetwork:
         if replicas:
             per_replica = self.cost_model.message_bytes(payload_bytes)
             self.meter.charge(category, len(replicas), len(replicas) * per_replica)
+        # Keep adaptively-placed replicas coherent: they are registered as
+        # serveable copies, so a publish must reach them too or rotated
+        # reads would silently miss the new value.
+        extra_holders = [
+            node_id
+            for node_id in self._replica_sets.get(key, ())
+            if node_id in self.nodes and node_id != result.owner and node_id not in replicas
+        ]
+        for node_id in extra_holders:
+            self.nodes[node_id].store.put(key, value, identity=identity)
+        if extra_holders:
+            per_replica = self.cost_model.message_bytes(payload_bytes)
+            self.meter.charge(
+                "cache.replicate", len(extra_holders), len(extra_holders) * per_replica
+            )
         return result
 
     def get(
@@ -219,9 +297,22 @@ class DhtNetwork:
         return self.get_raw(key, origin, category)
 
     def get_raw(self, key: int, origin: int | None = None, category: str = "dht.get") -> list[Any]:
-        """Fetch by raw ring key. See :meth:`get`."""
-        result = self.lookup(key, origin)
+        """Fetch by raw ring key. See :meth:`get`.
+
+        Replica-aware: when a replica set is registered for ``key`` the
+        read routes to the next holder in rotation instead of always
+        hitting the owner (falling back to the owner if the chosen
+        replica lost its copy).
+        """
+        key %= KEY_SPACE
+        self._ensure_stable()
+        target = self.serving_node(key)
+        result = self.lookup(target if target != self.owner_of(key) else key, origin)
         values = self.nodes[result.owner].store.get(key)
+        if not values and result.owner != self.owner_of(key):
+            # Stale replica registration: serve from the owner instead.
+            result = self.lookup(key, origin)
+            values = self.nodes[result.owner].store.get(key)
         self.meter.charge(
             category, max(1, result.hops), self.cost_model.routed_bytes(0, result.hops)
         )

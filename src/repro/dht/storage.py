@@ -13,10 +13,16 @@ from typing import Any, Hashable, Iterator
 
 
 class LocalStore:
-    """Multimap store on one DHT node, deduplicated per key."""
+    """Multimap store on one DHT node, deduplicated per key.
+
+    Keys can carry an optional expiry time, used by the adaptive
+    replication controller to make replica copies age out without a
+    network round trip (the replica holder drops them locally).
+    """
 
     def __init__(self) -> None:
         self._data: dict[int, dict[Hashable, Any]] = {}
+        self._expiry: dict[int, float] = {}
 
     def put(self, key: int, value: Any, identity: Hashable | None = None) -> bool:
         """Store ``value`` under ``key``.
@@ -40,8 +46,25 @@ class LocalStore:
 
     def remove_key(self, key: int) -> int:
         """Drop all values under ``key``; returns how many were removed."""
+        self._expiry.pop(key, None)
         bucket = self._data.pop(key, None)
         return len(bucket) if bucket else 0
+
+    def set_expiry(self, key: int, expires_at: float) -> None:
+        """Mark ``key`` to be dropped by ``purge_expired`` at ``expires_at``."""
+        if key in self._data:
+            self._expiry[key] = expires_at
+
+    def expiry_of(self, key: int) -> float | None:
+        """When ``key`` expires, or None if it has no expiry."""
+        return self._expiry.get(key)
+
+    def purge_expired(self, now: float) -> list[int]:
+        """Drop every key whose expiry is <= ``now``; returns those keys."""
+        expired = [key for key, at in self._expiry.items() if at <= now]
+        for key in expired:
+            self.remove_key(key)
+        return expired
 
     def contains(self, key: int) -> bool:
         return key in self._data and bool(self._data[key])
@@ -59,3 +82,4 @@ class LocalStore:
 
     def clear(self) -> None:
         self._data.clear()
+        self._expiry.clear()

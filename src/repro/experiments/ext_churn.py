@@ -12,9 +12,9 @@ show recovery.
 
 from __future__ import annotations
 
-import random
 from statistics import mean
 
+from repro.common.rng import make_rng
 from repro.dht.network import DhtNetwork
 from repro.dht.protocol import DhtProtocol
 from repro.experiments.common import ExperimentResult, PaperScale, PAPER_SCALE
@@ -82,11 +82,11 @@ def _measure(
     dht.populate(num_nodes)
     sim = Simulator()
     net = SimNetwork(
-        sim, latency=UniformLatencyModel(0.02, 0.08), rng=random.Random(seed + 41)
+        sim, latency=UniformLatencyModel(0.02, 0.08), rng=make_rng(seed + 41)
     )
     protocol = DhtProtocol(dht, sim, net, timeout=timeout)
 
-    rng = random.Random(seed + 42)
+    rng = make_rng(seed + 42)
     failed = rng.sample(list(dht.nodes), int(failure_fraction * num_nodes))
     if stabilized:
         # Stabilization: survivors learn the departures and drop them from

@@ -15,6 +15,7 @@ import time
 
 from repro.experiments import common
 from repro.experiments import (
+    ext_cache_effectiveness,
     ext_churn,
     ext_horizon_load,
     fig04_replication,
@@ -52,6 +53,7 @@ EXPERIMENTS = {
     "sec7": sec7_deployment.run,
     "ext-horizon": ext_horizon_load.run,
     "ext-churn": ext_churn.run,
+    "ext-cache": ext_cache_effectiveness.run,
 }
 
 

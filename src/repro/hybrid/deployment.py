@@ -17,6 +17,9 @@ import math
 from dataclasses import dataclass, field
 from statistics import mean
 
+from repro.cache.popularity import PopularityEstimator, query_key
+from repro.cache.replication import AdaptiveReplicationController, ReplicationConfig
+from repro.cache.results import QueryResultCache
 from repro.common.rng import make_rng, spawn_rng
 from repro.dht.network import DhtNetwork
 from repro.gnutella.latency import GnutellaLatencyModel
@@ -33,6 +36,7 @@ from repro.hybrid.ultrapeer import HybridQueryOutcome, HybridUltrapeer
 from repro.pier.catalog import Catalog
 from repro.piersearch.publisher import Publisher
 from repro.piersearch.search import SearchEngine
+from repro.sim.engine import Simulator
 from repro.workload.library import ContentLibrary
 from repro.workload.queries import generate_workload
 
@@ -55,6 +59,21 @@ class DeploymentConfig:
     client_max_ttl: int = 3
     desired_results: int = 150
     seed: int = 0
+    # --- repro.cache subsystem (0 budget = disabled, matching the paper) --
+    #: byte budget of the shared ultrapeer result cache
+    cache_budget_bytes: int = 0
+    cache_policy: str = "lru"
+    #: result entries expire after this much virtual time (None = never)
+    cache_ttl: float | None = None
+    #: recent sightings a query needs before its answer is admitted
+    cache_admission_min: int = 1
+    #: recent read-target resolutions of one DHT key — about one per plan
+    #: stage or item fetch touching it — that make it hot (0 = replication off)
+    hot_read_threshold: int = 0
+    #: replicas placed per hot key beyond the natural owner
+    replication_extra: int = 2
+    #: virtual time between test-phase leaf queries
+    query_interval: float = 1.0
 
 
 @dataclass
@@ -73,6 +92,13 @@ class DeploymentReport:
     oracle_no_result_fraction: float = 0.0
     pier_first_result_latencies: list[float] = field(default_factory=list)
     pier_query_bytes: list[int] = field(default_factory=list)
+    # --- repro.cache subsystem ---------------------------------------
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: wire bytes cache hits avoided re-spending
+    cache_bytes_saved: int = 0
+    #: hot posting-list keys the replication controller spread out
+    replicated_keys: int = 0
 
     @property
     def publish_kb_per_file(self) -> float:
@@ -110,6 +136,14 @@ class DeploymentReport:
         if not self.pier_query_bytes:
             return 0.0
         return mean(self.pier_query_bytes) / 1024
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups that hit (0.0 when caching is off)."""
+        lookups = self.cache_hits + self.cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.cache_hits / lookups
 
     @property
     def mean_hybrid_latency_rare(self) -> float:
@@ -151,6 +185,41 @@ def run_deployment(config: DeploymentConfig | None = None) -> DeploymentReport:
     catalog = Catalog(dht)
     publisher = Publisher(dht, catalog, inverted_cache=config.inverted_cache)
     search_engine = SearchEngine(dht, catalog, inverted_cache=config.inverted_cache)
+
+    # --- The repro.cache subsystem (off unless configured) ------------
+    # The result cache and popularity stream are shared by all hybrid
+    # ultrapeers (they form one overlay tier); virtual time comes from the
+    # event engine that drives the test phase.
+    sim = Simulator()
+    result_cache: QueryResultCache | None = None
+    popularity: PopularityEstimator | None = None
+    controller: AdaptiveReplicationController | None = None
+    if config.cache_budget_bytes > 0:
+        popularity = PopularityEstimator(
+            capacity=128, window=max(64, config.num_test_queries)
+        )
+        admission = None
+        if config.cache_admission_min > 1:
+            minimum, estimator = config.cache_admission_min, popularity
+            admission = lambda key: estimator.recent_count(key) >= minimum  # noqa: E731
+        result_cache = QueryResultCache(
+            config.cache_budget_bytes,
+            policy=config.cache_policy,
+            ttl=config.cache_ttl,
+            clock=lambda: sim.now,
+            cost_model=dht.cost_model,
+            admission=admission,
+        )
+    if config.hot_read_threshold > 0:
+        controller = AdaptiveReplicationController(
+            dht,
+            ReplicationConfig(
+                hot_read_threshold=config.hot_read_threshold,
+                extra_replicas=config.replication_extra,
+            ),
+            clock=lambda: sim.now,
+        )
+
     hybrids = [
         HybridUltrapeer(
             ultrapeer_id=ultrapeer,
@@ -159,6 +228,8 @@ def run_deployment(config: DeploymentConfig | None = None) -> DeploymentReport:
             search_engine=search_engine,
             qrs_threshold=config.qrs_threshold,
             gnutella_timeout=config.gnutella_timeout,
+            result_cache=result_cache,
+            popularity=popularity,
         )
         for ultrapeer, node in zip(hybrid_ids, dht_nodes)
     ]
@@ -180,6 +251,12 @@ def run_deployment(config: DeploymentConfig | None = None) -> DeploymentReport:
     origin_rng = spawn_rng(rng, "origins")
     for query in background:
         origin = origin_rng.choice(gnutella.topology.ultrapeers)
+        if popularity is not None:
+            # Hybrid ultrapeers snoop forwarded queries, so background
+            # traffic warms the popularity view the cache admits against.
+            key = query_key(query.terms)
+            if key:
+                popularity.observe(key)
         _observe_background_query(
             gnutella, matcher, file_hosts, hybrid_by_ultrapeer, origin,
             query, config,
@@ -198,7 +275,9 @@ def run_deployment(config: DeploymentConfig | None = None) -> DeploymentReport:
     depths_cache: dict[int, dict[int, int]] = {}
     test_rng = spawn_rng(rng, "testorigin")
     gnutella_zero = hybrid_zero = oracle_zero = 0
-    for query in test:
+
+    def run_test_query(query) -> None:
+        nonlocal gnutella_zero, hybrid_zero, oracle_zero
         hybrid = test_rng.choice(hybrids)
         depths = depths_cache.get(hybrid.ultrapeer_id)
         if depths is None:
@@ -225,7 +304,8 @@ def run_deployment(config: DeploymentConfig | None = None) -> DeploymentReport:
         )
         report.outcomes.append(outcome)
         if outcome.used_pier:
-            report.pier_query_bytes.append(outcome.pier_bytes)
+            if not outcome.cache_hit:
+                report.pier_query_bytes.append(outcome.pier_bytes)
             if outcome.pier_results > 0:
                 report.pier_first_result_latencies.append(
                     outcome.pier_latency - config.gnutella_timeout
@@ -234,12 +314,29 @@ def run_deployment(config: DeploymentConfig | None = None) -> DeploymentReport:
         hybrid_zero += 1 if outcome.total_results == 0 else 0
         oracle_zero += 1 if not matches else 0
 
+    # Leaf queries arrive as simulator events, one every query_interval of
+    # virtual time — this is the clock the cache's TTLs and the replication
+    # controller's expiries run on.
+    for position, query in enumerate(test):
+        sim.schedule_at(
+            position * config.query_interval,
+            lambda query=query: run_test_query(query),
+        )
+    sim.run()
+
     n = len(test)
     report.gnutella_no_result_fraction = gnutella_zero / n
     report.hybrid_no_result_fraction = hybrid_zero / n
     report.oracle_no_result_fraction = oracle_zero / n
     report.files_published = sum(hybrid.files_published for hybrid in hybrids)
     report.publish_bytes = sum(hybrid.publish_bytes for hybrid in hybrids)
+    if result_cache is not None:
+        report.cache_hits = result_cache.stats.hits
+        report.cache_misses = result_cache.stats.misses
+        report.cache_bytes_saved = result_cache.stats.bytes_saved
+    if controller is not None:
+        report.replicated_keys = controller.stats.replicated_keys
+        controller.detach()
     return report
 
 

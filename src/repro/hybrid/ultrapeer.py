@@ -14,6 +14,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.cache.popularity import PopularityEstimator, query_key
+from repro.cache.results import QueryResultCache
 from repro.piersearch.publisher import PublishReceipt, Publisher
 from repro.piersearch.search import SearchEngine
 from repro.workload.library import SharedFile
@@ -21,6 +23,8 @@ from repro.workload.library import SharedFile
 QRS_RESULT_SIZE_THRESHOLD = 20
 DEFAULT_GNUTELLA_TIMEOUT = 30.0
 DEFAULT_DHT_HOP_LATENCY = 1.2
+#: time to serve a leaf from the local result cache (no overlay hops)
+DEFAULT_CACHE_LATENCY = 0.05
 
 
 @dataclass
@@ -34,6 +38,10 @@ class HybridQueryOutcome:
     pier_results: int = 0
     pier_latency: float = 0.0
     pier_bytes: int = 0
+    #: PIER answer served from the ultrapeer's result cache
+    cache_hit: bool = False
+    #: wire bytes the cache hit avoided re-spending
+    saved_bytes: int = 0
 
     @property
     def total_results(self) -> int:
@@ -67,6 +75,9 @@ class HybridUltrapeer:
         qrs_threshold: int = QRS_RESULT_SIZE_THRESHOLD,
         gnutella_timeout: float = DEFAULT_GNUTELLA_TIMEOUT,
         dht_hop_latency: float = DEFAULT_DHT_HOP_LATENCY,
+        result_cache: QueryResultCache | None = None,
+        popularity: PopularityEstimator | None = None,
+        cache_latency: float = DEFAULT_CACHE_LATENCY,
     ):
         self.ultrapeer_id = ultrapeer_id
         self.dht_node_id = dht_node_id
@@ -75,6 +86,12 @@ class HybridUltrapeer:
         self.qrs_threshold = qrs_threshold
         self.gnutella_timeout = gnutella_timeout
         self.dht_hop_latency = dht_hop_latency
+        #: optional (possibly shared) query-result cache consulted before
+        #: re-issuing a timed-out leaf query through PIERSearch
+        self.result_cache = result_cache
+        #: optional (possibly shared) popularity stream fed by leaf queries
+        self.popularity = popularity
+        self.cache_latency = cache_latency
         self.receipts: list[PublishReceipt] = []
         self._published_keys: set[tuple] = set()
         self.outcomes: list[HybridQueryOutcome] = []
@@ -148,10 +165,24 @@ class HybridUltrapeer:
             gnutella_results=gnutella_results,
             gnutella_latency=gnutella_latency,
         )
+        cache_key = query_key(terms)
+        if self.popularity is not None and cache_key:
+            self.popularity.observe(cache_key)
         if not timed_out:
             self.outcomes.append(outcome)
             return outcome
         outcome.used_pier = True
+        if self.result_cache is not None and cache_key:
+            entry = self.result_cache.get(terms)
+            if entry is not None:
+                # Served from the ultrapeer's own cache: no plan shipped,
+                # no posting lists touched, answer latency is local.
+                outcome.cache_hit = True
+                outcome.pier_results = entry.result_count
+                outcome.saved_bytes = entry.cost_bytes
+                outcome.pier_latency = self.gnutella_timeout + self.cache_latency
+                self.outcomes.append(outcome)
+                return outcome
         try:
             result = self.search_engine.search(terms, query_node=self.dht_node_id)
         except Exception:
@@ -162,5 +193,12 @@ class HybridUltrapeer:
         outcome.pier_bytes = result.stats.bytes
         pier_time = result.stats.critical_path_hops * self.dht_hop_latency
         outcome.pier_latency = self.gnutella_timeout + pier_time
+        if self.result_cache is not None and cache_key:
+            self.result_cache.put(
+                terms,
+                result.filenames,
+                cost_bytes=result.stats.bytes,
+                result_count=len(result),
+            )
         self.outcomes.append(outcome)
         return outcome

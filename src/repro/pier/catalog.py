@@ -63,8 +63,15 @@ class TableHandle:
         return self.network.get_local(node_id, key)
 
     def host_of(self, index_value: Any) -> int:
-        """The DHT node hosting this index value."""
-        return self.network.owner_of(table_key(self.schema.name, index_value))
+        """The DHT node that should serve reads of this index value.
+
+        Replica-aware: normally the ring owner, but when the adaptive
+        replication controller has spread a hot key over the owner's
+        successors, reads rotate across the replica set. Each resolution
+        is reported to the network's read listener, which is how hot
+        posting-list keys are detected in the first place.
+        """
+        return self.network.serving_node(table_key(self.schema.name, index_value))
 
     def scan_all(self) -> Iterator[Row]:
         """Iterate every stored row of this table across all nodes.

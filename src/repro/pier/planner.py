@@ -10,7 +10,7 @@ posting-list entries shipped between sites.
 from __future__ import annotations
 
 from repro.common.errors import PlanError
-from repro.pier.catalog import Catalog
+from repro.pier.catalog import Catalog, table_key
 from repro.pier.query import DistributedPlan, JoinStrategy, PlanStage
 
 
@@ -26,10 +26,13 @@ class KeywordPlanner:
 
         PIER keeps per-key statistics at the hosting node; the planner can
         learn them with one probe per keyword, which we treat as part of
-        query dissemination rather than charging separately.
+        query dissemination rather than charging separately. The probe
+        reads the ring owner directly (not the replica-aware serving node)
+        so statistics gathering neither counts as a data read nor advances
+        the replica rotation.
         """
         handle = self.catalog.table(self.posting_table)
-        host = handle.host_of(keyword)
+        host = handle.network.owner_of(table_key(self.posting_table, keyword))
         return len(handle.fetch_local(host, keyword))
 
     def plan(

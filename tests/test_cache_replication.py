@@ -1,0 +1,195 @@
+"""Unit tests for adaptive replication of hot DHT keys."""
+
+import pytest
+
+from repro.cache.replication import AdaptiveReplicationController, ReplicationConfig
+from repro.common.ids import hash_key
+from repro.dht.network import DhtNetwork
+
+
+def build_network(num_nodes: int = 32, seed: int = 900) -> DhtNetwork:
+    network = DhtNetwork(rng=seed)
+    network.populate(num_nodes)
+    return network
+
+
+def hot_config(**kwargs) -> ReplicationConfig:
+    kwargs.setdefault("hot_read_threshold", 4)
+    kwargs.setdefault("extra_replicas", 2)
+    return ReplicationConfig(**kwargs)
+
+
+class TestHotKeyDetection:
+    def test_cold_keys_stay_unreplicated(self):
+        network = build_network()
+        controller = AdaptiveReplicationController(network, hot_config())
+        network.put("cold-key", "value")
+        network.get("cold-key")
+        assert controller.stats.replicated_keys == 0
+        assert network.replica_nodes(hash_key("cold-key")) == []
+
+    def test_hot_key_gets_replicated(self):
+        network = build_network()
+        controller = AdaptiveReplicationController(network, hot_config())
+        network.put("hot-key", "value")
+        for _ in range(6):
+            network.get("hot-key")
+        key = hash_key("hot-key")
+        assert controller.stats.replicated_keys == 1
+        replicas = network.replica_nodes(key)
+        assert len(replicas) == 2
+        # replicas live on the owner's successors and hold real copies
+        owner = network.nodes[network.owner_of(key)]
+        assert all(node_id in owner.successors for node_id in replicas)
+        assert all(network.nodes[node_id].store.get(key) == ["value"] for node_id in replicas)
+
+    def test_reads_rotate_over_replica_set(self):
+        network = build_network()
+        controller = AdaptiveReplicationController(network, hot_config())
+        network.put("hot-key", "value")
+        for _ in range(20):
+            assert network.get("hot-key") == ["value"]
+        served = {
+            node_id
+            for node_id, count in controller.serve_counts.items()
+            if count > 0 and network.nodes[node_id].store.contains(hash_key("hot-key"))
+        }
+        # owner + 2 replicas all took a share of the reads
+        assert len(served) == 3
+
+    def test_replication_charges_bandwidth(self):
+        network = build_network()
+        AdaptiveReplicationController(network, hot_config())
+        network.put("hot-key", "value")
+        for _ in range(6):
+            network.get("hot-key")
+        assert "cache.replicate" in network.meter.by_category
+        assert network.meter.by_category["cache.replicate"].messages == 2
+
+
+class TestInvalidation:
+    def test_ttl_expiry_drops_fresh_copies(self):
+        clock = {"now": 0.0}
+        network = build_network()
+        controller = AdaptiveReplicationController(
+            network,
+            hot_config(replica_ttl=50.0),
+            clock=lambda: clock["now"],
+        )
+        network.put("hot-key", "value")
+        for _ in range(6):
+            network.get("hot-key")
+        key = hash_key("hot-key")
+        assert network.replica_nodes(key)
+        clock["now"] = 100.0
+        assert controller.expire() == 1
+        assert network.replica_nodes(key) == []
+        # the copies the controller created are gone; the owner's is not
+        owner_id = network.owner_of(key)
+        holders = [
+            node_id
+            for node_id, node in network.nodes.items()
+            if node.store.contains(key)
+        ]
+        assert holders == [owner_id]
+        assert controller.stats.expired == 1
+
+    def test_invalidate_preserves_natural_replicas(self):
+        # With network-level replication the successors already held the
+        # key before the controller touched it; invalidation must not
+        # destroy those natural copies.
+        network = DhtNetwork(replication=3, rng=901)
+        network.populate(32)
+        controller = AdaptiveReplicationController(network, hot_config(extra_replicas=2))
+        network.put("hot-key", "value")
+        key = hash_key("hot-key")
+        holders_before = [
+            node_id for node_id, node in network.nodes.items() if node.store.contains(key)
+        ]
+        for _ in range(6):
+            network.get("hot-key")
+        controller.invalidate(key)
+        holders_after = [
+            node_id for node_id, node in network.nodes.items() if node.store.contains(key)
+        ]
+        assert sorted(holders_after) == sorted(holders_before)
+
+    def test_churn_prunes_replica_sets(self):
+        network = build_network()
+        controller = AdaptiveReplicationController(network, hot_config(extra_replicas=1))
+        network.put("hot-key", "value")
+        for _ in range(6):
+            network.get("hot-key")
+        key = hash_key("hot-key")
+        (replica,) = network.replica_nodes(key)
+        network.remove_node(replica, graceful=False)
+        assert network.replica_nodes(key) == []
+        assert controller.stats.churn_drops == 1
+        # key still served by the owner after the replica died
+        assert network.get("hot-key") == ["value"]
+
+    def test_owner_failure_survived_via_replicas(self):
+        network = build_network()
+        AdaptiveReplicationController(network, hot_config())
+        network.put("hot-key", "value")
+        for _ in range(6):
+            network.get("hot-key")
+        key = hash_key("hot-key")
+        owner_before = network.owner_of(key)
+        network.remove_node(owner_before, graceful=False)
+        network.stabilize()
+        # the new owner is the old owner's first successor, which holds a
+        # controller-placed copy: the hot key never became unavailable
+        assert network.get("hot-key") == ["value"]
+
+
+class TestConfig:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            ReplicationConfig(hot_read_threshold=0)
+        with pytest.raises(ValueError):
+            ReplicationConfig(extra_replicas=0)
+        with pytest.raises(ValueError):
+            ReplicationConfig(replica_ttl=0)
+
+    def test_detach_stops_observing(self):
+        network = build_network()
+        controller = AdaptiveReplicationController(network, hot_config())
+        controller.detach()
+        network.put("hot-key", "value")
+        for _ in range(6):
+            network.get("hot-key")
+        assert controller.stats.reads == 0
+
+    def test_serve_skew_even_after_replication(self):
+        network = build_network()
+        controller = AdaptiveReplicationController(network, hot_config())
+        network.put("hot-key", "value")
+        for _ in range(31):
+            network.get("hot-key")
+        # 30 reads spread over 3 servers (owner + 2 replicas) after the
+        # 4th read triggered placement: skew well below a single hot spot
+        assert controller.serve_skew() < 2.0
+
+
+class TestWriteCoherence:
+    def test_publish_after_replication_reaches_replicas(self):
+        network = build_network()
+        AdaptiveReplicationController(network, hot_config())
+        network.put("hot-key", "first")
+        for _ in range(6):
+            network.get("hot-key")
+        key = hash_key("hot-key")
+        assert network.replica_nodes(key)
+        network.put("hot-key", "second")
+        # every rotated read (owner + both replicas) sees both values
+        for _ in range(6):
+            assert sorted(network.get("hot-key")) == ["first", "second"]
+
+    def test_publish_to_unreplicated_key_unchanged(self):
+        network = build_network()
+        AdaptiveReplicationController(network, hot_config())
+        network.put("cold-key", "only")
+        network.put("cold-key", "pair")
+        assert sorted(network.get("cold-key")) == ["only", "pair"]
+        assert "cache.replicate" not in network.meter.by_category

@@ -194,3 +194,30 @@ class TestExperimentResultFormatting:
         result = fig09_pf_threshold.run(SMALL_SCALE)
         with pytest.raises(ValueError):
             result.column("nope")
+
+
+class TestExtCacheEffectiveness:
+    def test_cache_saves_bandwidth_without_recall_loss(self):
+        from repro.experiments import ext_cache_effectiveness
+
+        result = ext_cache_effectiveness.run(SMALL_SCALE)
+        columns = result.columns
+        cells = {(row[0], row[1]): row for row in result.rows}
+
+        def cell(alpha, budget, name):
+            return cells[(alpha, budget)][columns.index(name)]
+
+        alphas = sorted({row[0] for row in result.rows})
+        budgets = sorted({row[1] for row in result.rows})
+        # cached cells save bandwidth; savings grow with the budget
+        for alpha in alphas:
+            saved = [cell(alpha, budget, "bandwidth_saved_pct") for budget in budgets]
+            assert saved[0] == 0.0  # budget-0 baseline
+            assert all(a <= b + 1e-9 for a, b in zip(saved, saved[1:]))
+            assert saved[-1] > 10.0
+        # heavier skew -> more repetition -> higher hit rate
+        assert cell(alphas[-1], budgets[-1], "hit_rate_pct") >= cell(
+            alphas[0], budgets[-1], "hit_rate_pct"
+        )
+        # zero recall loss everywhere
+        assert all(row[columns.index("recall_delta")] == 0.0 for row in result.rows)

@@ -188,3 +188,58 @@ class TestDynamicQuery:
     def test_rejects_bad_desired(self):
         with pytest.raises(ValueError):
             dynamic_query(line_topology(), {}, 0, ["x"], desired_results=0)
+
+
+class TestPartialFlooding:
+    def test_rare_queries_keep_full_ttl(self):
+        from repro.gnutella.flooding import popularity_stop_ttl
+
+        assert popularity_stop_ttl(0.0, 4) == 4
+        assert popularity_stop_ttl(0.02, 4) == 4
+
+    def test_popular_queries_flood_shallower(self):
+        from repro.gnutella.flooding import popularity_stop_ttl
+
+        ttl_warm = popularity_stop_ttl(0.05, 4)
+        ttl_hot = popularity_stop_ttl(0.5, 4)
+        assert ttl_hot < ttl_warm < 4
+        assert ttl_hot >= 1  # never below min_ttl
+
+    def test_ttl_monotone_in_frequency(self):
+        from repro.gnutella.flooding import popularity_stop_ttl
+
+        ttls = [popularity_stop_ttl(f / 100, 6) for f in range(1, 100)]
+        assert all(a >= b for a, b in zip(ttls, ttls[1:]))
+
+    def test_rejects_bad_arguments(self):
+        from repro.gnutella.flooding import popularity_stop_ttl
+
+        with pytest.raises(ValueError):
+            popularity_stop_ttl(0.5, -1)
+        with pytest.raises(ValueError):
+            popularity_stop_ttl(0.5, 4, popular_frequency=0.0)
+
+    def test_adaptive_flood_gets_cheaper_with_repetition(self):
+        from repro.cache.popularity import PopularityEstimator
+        from repro.gnutella.flooding import adaptive_flood
+
+        topo = line_topology(8)
+        estimator = PopularityEstimator(window=50)
+        first = adaptive_flood(topo, {}, 0, ["hot", "song"], estimator, max_ttl=5)
+        assert first.ttl == 5  # never seen: full horizon
+        for _ in range(20):
+            result = adaptive_flood(topo, {}, 0, ["hot", "song"], estimator, max_ttl=5)
+        assert result.ttl < first.ttl
+        assert result.messages < first.messages
+
+    def test_adaptive_flood_still_finds_nearby_content(self):
+        from repro.cache.popularity import PopularityEstimator
+        from repro.gnutella.flooding import adaptive_flood
+
+        topo = line_topology(8)
+        indexes = index_with({1: ["hot song.mp3"]})
+        estimator = PopularityEstimator(window=50)
+        for _ in range(20):
+            result = adaptive_flood(topo, indexes, 0, ["hot", "song"], estimator, max_ttl=5)
+        # shallow flood still reaches the popular (nearby) replica
+        assert result.num_results == 1

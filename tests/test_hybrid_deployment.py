@@ -83,3 +83,62 @@ class TestInvertedCacheVariant:
         assert a.files_published == b.files_published
         assert a.gnutella_no_result_fraction == b.gnutella_no_result_fraction
         assert a.hybrid_no_result_fraction == b.hybrid_no_result_fraction
+
+
+class TestCachedDeployment:
+    """The repro.cache subsystem wired end-to-end through the deployment."""
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        return DeploymentConfig(
+            num_ultrapeers=200,
+            num_leaves=800,
+            num_hybrid=20,
+            num_items=400,
+            num_background_queries=150,
+            num_test_queries=150,
+            seed=7,
+        )
+
+    @pytest.fixture(scope="class")
+    def stock(self, config):
+        return run_deployment(config)
+
+    @pytest.fixture(scope="class")
+    def cached(self, config):
+        from dataclasses import replace
+
+        return run_deployment(
+            replace(
+                config,
+                cache_budget_bytes=256 * 1024,
+                hot_read_threshold=12,
+            )
+        )
+
+    def test_cache_disabled_by_default(self, stock):
+        assert stock.cache_hits == stock.cache_misses == 0
+        assert stock.cache_hit_rate == 0.0
+
+    def test_cache_produces_hits_and_savings(self, cached):
+        assert cached.cache_hits > 0
+        assert cached.cache_bytes_saved > 0
+        assert 0.0 < cached.cache_hit_rate <= 1.0
+
+    def test_cached_answers_lose_no_recall(self, stock, cached):
+        # identical workload, identical answers: caching changes costs,
+        # never result availability
+        assert cached.hybrid_no_result_fraction == stock.hybrid_no_result_fraction
+        assert cached.gnutella_no_result_fraction == stock.gnutella_no_result_fraction
+        for a, b in zip(stock.outcomes, cached.outcomes):
+            assert a.total_results == b.total_results
+
+    def test_cache_reduces_pier_bandwidth(self, stock, cached):
+        assert sum(cached.pier_query_bytes) < sum(stock.pier_query_bytes)
+
+    def test_cache_hits_cut_latency(self, cached):
+        hits = [o for o in cached.outcomes if o.cache_hit]
+        executed = [o for o in cached.outcomes if o.used_pier and not o.cache_hit]
+        if hits and executed:
+            fastest_executed = min(o.pier_latency for o in executed)
+            assert all(o.pier_latency <= fastest_executed for o in hits)

@@ -99,3 +99,65 @@ class TestHybridQueryPath:
         hybrid.handle_leaf_query(["a1"], 3, 5.0)
         hybrid.handle_leaf_query(["b2"], 0, math.inf)
         assert len(hybrid.outcomes) == 2
+
+
+class TestResultCache:
+    @pytest.fixture()
+    def cached_hybrid(self):
+        from repro.cache.popularity import PopularityEstimator
+        from repro.cache.results import QueryResultCache
+
+        network = DhtNetwork(rng=41)
+        nodes = network.populate(16)
+        catalog = Catalog(network)
+        publisher = Publisher(network, catalog)
+        engine = SearchEngine(network, catalog)
+        return HybridUltrapeer(
+            ultrapeer_id=1,
+            dht_node_id=nodes[0].node_id,
+            publisher=publisher,
+            search_engine=engine,
+            qrs_threshold=5,
+            gnutella_timeout=30.0,
+            dht_hop_latency=1.0,
+            result_cache=QueryResultCache(budget_bytes=64 * 1024),
+            popularity=PopularityEstimator(),
+        )
+
+    def test_repeat_query_served_from_cache(self, cached_hybrid):
+        cached_hybrid.observe_query_results([shared("rare montia klorena.mp3")])
+        first = cached_hybrid.handle_leaf_query(["montia"], 0, math.inf)
+        second = cached_hybrid.handle_leaf_query(["montia"], 0, math.inf)
+        assert not first.cache_hit and second.cache_hit
+        # zero recall loss: the cached answer matches the executed one
+        assert second.pier_results == first.pier_results
+        # the hit spends no wire bytes and records what it saved
+        assert second.pier_bytes == 0
+        assert second.saved_bytes == first.pier_bytes > 0
+
+    def test_cache_hit_is_faster_than_execution(self, cached_hybrid):
+        cached_hybrid.observe_query_results([shared("rare montia klorena.mp3")])
+        first = cached_hybrid.handle_leaf_query(["montia"], 0, math.inf)
+        second = cached_hybrid.handle_leaf_query(["montia"], 0, math.inf)
+        assert second.pier_latency < first.pier_latency
+
+    def test_term_order_shares_cache_entry(self, cached_hybrid):
+        cached_hybrid.observe_query_results([shared("rare montia klorena.mp3")])
+        cached_hybrid.handle_leaf_query(["montia", "klorena"], 0, math.inf)
+        reordered = cached_hybrid.handle_leaf_query(["klorena", "montia"], 0, math.inf)
+        assert reordered.cache_hit
+
+    def test_gnutella_success_bypasses_cache(self, cached_hybrid):
+        cached_hybrid.handle_leaf_query(["montia"], 4, 2.0)
+        assert cached_hybrid.result_cache.stats.lookups == 0
+
+    def test_popularity_observes_all_queries(self, cached_hybrid):
+        from repro.cache.popularity import query_key
+
+        cached_hybrid.handle_leaf_query(["montia"], 4, 2.0)
+        cached_hybrid.handle_leaf_query(["montia"], 0, math.inf)
+        assert cached_hybrid.popularity.recent_count(query_key(["montia"])) == 2
+
+    def test_stop_word_query_not_cached(self, cached_hybrid):
+        cached_hybrid.handle_leaf_query(["the"], 0, math.inf)
+        assert len(cached_hybrid.result_cache) == 0

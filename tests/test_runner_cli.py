@@ -14,6 +14,10 @@ class TestRegistry:
         for section in ("sec4", "sec5", "sec7"):
             assert section in EXPERIMENTS
 
+    def test_extension_experiments_registered(self):
+        for extension in ("ext-horizon", "ext-churn", "ext-cache"):
+            assert extension in EXPERIMENTS
+
 
 class TestMain:
     def test_runs_single_experiment(self, capsys):

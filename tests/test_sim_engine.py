@@ -106,3 +106,85 @@ class TestRunControl:
 
     def test_empty_run_returns_zero(self):
         assert Simulator().run() == 0
+
+
+class TestEdgeCases:
+    def test_cancel_after_pop_is_harmless(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("once"))
+        sim.run()
+        event.cancel()  # already popped and executed: must be a no-op
+        sim.run()
+        assert fired == ["once"]
+        assert sim.pending == 0
+
+    def test_cancel_during_own_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def self_cancelling():
+            fired.append(sim.now)
+            event.cancel()  # popped already; engine must not crash
+
+        event = sim.schedule(1.0, self_cancelling)
+        sim.run()
+        assert fired == [1.0]
+
+    def test_fifo_ties_among_many(self):
+        sim = Simulator()
+        fired = []
+        for index in range(10):
+            sim.schedule(5.0, lambda index=index: fired.append(index))
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_fifo_ties_with_interleaved_cancellation(self):
+        sim = Simulator()
+        fired = []
+        events = [
+            sim.schedule(5.0, lambda index=index: fired.append(index))
+            for index in range(5)
+        ]
+        events[1].cancel()
+        events[3].cancel()
+        sim.run()
+        assert fired == [0, 2, 4]
+
+    def test_ties_scheduled_mid_run_fire_after_earlier_peers(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(0.0, lambda: fired.append("nested"))
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, lambda: fired.append("second"))
+        sim.run()
+        assert fired == ["first", "second", "nested"]
+
+    def test_schedule_at_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 5.0
+        with pytest.raises(ValueError):
+            sim.schedule_at(2.0, lambda: None)
+
+    def test_schedule_at_now_is_allowed(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        kept = sim.schedule(1.0, lambda: None)
+        cancelled = sim.schedule(2.0, lambda: None)
+        cancelled.cancel()
+        assert sim.pending == 1
+        assert kept.cancelled is False
