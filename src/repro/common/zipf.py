@@ -15,6 +15,8 @@ import math
 import random
 from collections.abc import Sequence
 
+from repro.common.rng import make_rng
+
 
 def zipf_weights(n: int, alpha: float = 1.0) -> list[float]:
     """Unnormalised Zipf weights ``1/rank**alpha`` for ranks 1..n."""
@@ -32,10 +34,14 @@ class ZipfSampler:
     enough for the trace sizes used here (hundreds of thousands of draws).
     """
 
-    def __init__(self, n: int, alpha: float = 1.0, rng: random.Random | None = None):
+    def __init__(
+        self, n: int, alpha: float = 1.0, rng: random.Random | int | None = None
+    ):
         self.n = n
         self.alpha = alpha
-        self._rng = rng or random.Random()
+        # Routed through make_rng (seeded-RNG audit): omitting rng must
+        # still yield bit-for-bit reproducible traces.
+        self._rng = make_rng(rng)
         weights = zipf_weights(n, alpha)
         self._cumulative = list(itertools.accumulate(weights))
         self._total = self._cumulative[-1]
@@ -89,7 +95,7 @@ def long_tail_replica_counts(
     alpha: float | None = None,
     max_replicas: int = 1000,
     singleton_fraction: float = 0.23,
-    rng: random.Random | None = None,
+    rng: random.Random | int | None = None,
 ) -> list[int]:
     """Replica count per distinct item, matching the paper's trace shape.
 
@@ -104,7 +110,7 @@ def long_tail_replica_counts(
     """
     if num_items <= 0:
         raise ValueError(f"need num_items >= 1, got {num_items}")
-    rng = rng or random.Random()
+    rng = make_rng(rng)
     if alpha is None:
         alpha = calibrate_power_law_alpha(singleton_fraction, max_replicas)
     values = list(range(1, max_replicas + 1))

@@ -44,8 +44,14 @@ class ChurnProcess:
         self.failure_fraction = failure_fraction
         self.stats = ChurnStats()
 
-    def churn_step(self, joins: int = 1, leaves: int = 1) -> None:
-        """Apply ``joins`` arrivals and ``leaves`` departures, then stabilize."""
+    def churn_step(self, joins: int = 1, leaves: int = 1, stabilize: bool = True) -> None:
+        """Apply ``joins`` arrivals and ``leaves`` departures, then stabilize.
+
+        With ``stabilize=False`` the survivors keep their now-stale routing
+        tables (fingers naming departed nodes) until someone stabilizes —
+        the regime in-flight hop-by-hop lookups must route around via
+        successor-list recovery.
+        """
         for _ in range(leaves):
             if self.network.size <= 1:
                 break
@@ -59,7 +65,8 @@ class ChurnProcess:
         for _ in range(joins):
             self.network.create_node()
             self.stats.joins += 1
-        self.network.stabilize()
+        if stabilize:
+            self.network.stabilize()
 
     def run_session_churn(self, turnover_fraction: float) -> None:
         """Replace ``turnover_fraction`` of the network (size preserved)."""
@@ -73,10 +80,18 @@ class ChurnProcess:
         steps: int,
         joins_per_step: int = 1,
         leaves_per_step: int = 1,
+        stabilize: bool = True,
     ) -> None:
-        """Schedule periodic churn steps on a simulator clock."""
+        """Schedule periodic churn steps on a simulator clock.
+
+        Interleaved with an event-driven query workload this is *churn
+        during queries*: departures land between the hop events of
+        in-flight lookups.
+        """
         for step in range(1, steps + 1):
             sim.schedule(
                 interval * step,
-                lambda j=joins_per_step, l=leaves_per_step: self.churn_step(j, l),
+                lambda j=joins_per_step, l=leaves_per_step, s=stabilize: self.churn_step(
+                    j, l, stabilize=s
+                ),
             )

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
 
 from repro.common.errors import DhtError, KeyNotFoundError, NodeNotFoundError
-from repro.common.ids import KEY_SPACE, hash_key
+from repro.common.ids import KEY_SPACE, hash_key, in_interval
 from repro.common.rng import make_rng
 from repro.common.units import BandwidthMeter, CostModel, DEFAULT_COST_MODEL
 from repro.dht.keyspace import responsible_node
@@ -31,6 +31,10 @@ class LookupResult:
     key: int
     owner: int
     path: list[int] = field(default_factory=list)
+    #: route repairs performed mid-lookup (dead next hop / dead current
+    #: node recovered through a successor list); only nonzero for
+    #: hop-by-hop lookups that overlapped churn
+    retries: int = 0
 
     @property
     def hops(self) -> int:
@@ -71,7 +75,13 @@ class DhtNetwork:
     # ------------------------------------------------------------------
 
     def create_node(self, node_id: int | None = None) -> DhtNode:
-        """Add a node with ``node_id`` (random if omitted) to the ring."""
+        """Add a node with ``node_id`` (random if omitted) to the ring.
+
+        Chord join semantics: the new node's successor hands over the
+        slice of keys the newcomer now owns (charged as ``dht.handoff``),
+        so stored data stays reachable when joins land mid-run — without
+        this, every join would silently orphan the slice it takes over.
+        """
         if node_id is None:
             node_id = self.rng.getrandbits(160)
         if node_id in self.nodes:
@@ -80,6 +90,25 @@ class DhtNetwork:
         self.nodes[node_id] = node
         bisect.insort(self._ring, node_id)
         self._stale = True
+        if len(self._ring) > 1:
+            index = bisect.bisect_left(self._ring, node_id)
+            successor_id = self._ring[(index + 1) % len(self._ring)]
+            predecessor_id = self._ring[index - 1]
+            source = self.nodes[successor_id]
+            moved = 0
+            claimed = [
+                key
+                for key in list(source.store.keys())
+                if in_interval(key, predecessor_id, node_id, inclusive_end=True)
+            ]
+            for key in claimed:
+                for value in source.store.get(key):
+                    node.store.put(key, value, identity=_identity(value))
+                    moved += 1
+                source.store.remove_key(key)
+            if moved:
+                per_value = self.cost_model.message_bytes(self.cost_model.tuple_bytes(0))
+                self.meter.charge("dht.handoff", moved, moved * per_value)
         return node
 
     def populate(self, count: int) -> list[DhtNode]:
@@ -89,8 +118,10 @@ class DhtNetwork:
         return nodes
 
     def remove_node(self, node_id: int, graceful: bool = True) -> None:
-        """Remove a node. A graceful leave hands its keys to the successor;
-        an ungraceful failure loses any data not replicated elsewhere."""
+        """Remove a node. A graceful leave hands its keys to the successor
+        (one direct message per stored value, charged as ``dht.handoff``
+        maintenance bandwidth); an ungraceful failure loses any data not
+        replicated elsewhere."""
         node = self.nodes.pop(node_id, None)
         if node is None:
             raise NodeNotFoundError(f"unknown node {node_id:x}")
@@ -100,9 +131,14 @@ class DhtNetwork:
         if graceful and self._ring:
             successor = responsible_node(self._ring, node_id)
             target = self.nodes[successor]
+            moved = 0
             for key, values in node.store.items():
                 for value in values:
                     target.store.put(key, value, identity=_identity(value))
+                    moved += 1
+            if moved:
+                per_value = self.cost_model.message_bytes(self.cost_model.tuple_bytes(0))
+                self.meter.charge("dht.handoff", moved, moved * per_value)
         node.alive = False
         for key in list(self._replica_sets):
             holders = [nid for nid in self._replica_sets[key] if nid != node_id]
@@ -192,8 +228,10 @@ class DhtNetwork:
     def lookup(self, key: int, origin: int | None = None) -> LookupResult:
         """Route ``key`` from ``origin`` to its owner using local state only.
 
-        Raises :class:`DhtError` if routing does not converge (which, with
-        stabilized tables, should never happen).
+        Raises :class:`DhtError` if routing does not converge or dead-ends
+        (which, with stabilized tables, should never happen). A returned
+        result always names a node that actually owns ``key`` — a dead-end
+        is an error, never an answer from the wrong node.
         """
         self._ensure_stable()
         if not self._ring:
@@ -214,10 +252,94 @@ class DhtNetwork:
             if next_hop is None or next_hop == current:
                 next_hop = node.first_successor()
             if next_hop is None:
-                return LookupResult(key=key, owner=current, path=path)
+                raise DhtError(
+                    f"routing dead-end at node {current:x} for key {key:x}: "
+                    "no finger or successor to forward to"
+                )
             current = next_hop
             path.append(current)
         raise DhtError(f"routing for key {key:x} did not converge in {max_hops} hops")
+
+    def iter_lookup(self, key: int, origin: int | None = None):
+        """Hop-by-hop lookup generator: the event-driven variant of
+        :meth:`lookup`.
+
+        Yields the node id reached at each hop, starting with ``origin``
+        and ending with the key's owner; the complete
+        :class:`LookupResult` is the generator's return value
+        (``StopIteration.value``). Routing state is re-read between
+        yields, so a driver that advances the generator one simulator
+        event at a time (e.g. the hybrid query engine) observes churn
+        applied mid-lookup: if the node the query currently sits on — or
+        a finger it planned to follow — has departed, the walk recovers
+        through the last live node's successor list and counts a retry.
+
+        The generator never stabilizes mid-walk; it routes over whatever
+        tables exist, exactly as an in-flight query would. Raises
+        :class:`DhtError` when routing dead-ends, when every node on the
+        path has departed, or when the hop budget is exhausted.
+        """
+        if not self._ring:
+            raise DhtError("empty network")
+        key %= KEY_SPACE
+        if origin is None:
+            origin = self.random_node_id()
+        if origin not in self.nodes:
+            raise NodeNotFoundError(f"unknown origin {origin:x}")
+        max_hops = MAX_HOPS_FACTOR * max(1, self.size).bit_length() + 8
+        current = origin
+        path = [current]
+        retries = 0
+        yield current
+        for _ in range(max_hops):
+            node = self.nodes.get(current)
+            if node is None:
+                # The node the query sits on departed mid-lookup: resume
+                # from the most recent node on the path still alive.
+                current = self._last_live(path, key)
+                retries += 1
+                path.append(current)
+                yield current
+                continue
+            if node.owns(key):
+                return LookupResult(key=key, owner=current, path=path, retries=retries)
+            next_hop = node.closest_preceding(key)
+            if next_hop is None or next_hop == current:
+                next_hop = node.first_successor()
+            if next_hop is None:
+                raise DhtError(
+                    f"routing dead-end at node {current:x} for key {key:x}: "
+                    "no finger or successor to forward to"
+                )
+            if next_hop not in self.nodes:
+                # Stale routing entry naming a departed node: fall back to
+                # the first live successor (Chord's failure recovery).
+                next_hop = self._first_live_successor(node, exclude={current})
+                retries += 1
+                if next_hop is None:
+                    raise DhtError(
+                        f"node {current:x} has no live successor to route "
+                        f"around departures for key {key:x}"
+                    )
+            current = next_hop
+            path.append(current)
+            yield current
+        raise DhtError(f"routing for key {key:x} did not converge in {max_hops} hops")
+
+    def _last_live(self, path: list[int], key: int) -> int:
+        """Most recent node on ``path`` that is still a member."""
+        for node_id in reversed(path):
+            if node_id in self.nodes:
+                return node_id
+        raise DhtError(
+            f"every node on the lookup path for key {key:x} has departed"
+        )
+
+    def _first_live_successor(self, node: DhtNode, exclude: set[int]) -> int | None:
+        for candidate in node.successors:
+            if candidate in self.nodes and candidate not in exclude:
+                return candidate
+        return None
 
     # ------------------------------------------------------------------
     # Data path
@@ -319,6 +441,33 @@ class DhtNetwork:
         if not values:
             raise KeyNotFoundError(f"no values under key {key:x}")
         return values
+
+    def iter_get_raw(self, key: int, origin: int | None = None, category: str = "dht.get"):
+        """Event-driven variant of :meth:`get_raw`: yields each routing hop.
+
+        Replica-aware like :meth:`get_raw`, including the stale-replica
+        owner fallback (which re-routes and therefore costs extra yielded
+        hops). ``(values, result)`` is the generator's return value
+        (``StopIteration.value``). Raises :class:`KeyNotFoundError` when
+        nothing is stored under ``key`` and :class:`DhtError` when routing
+        breaks beyond repair mid-walk.
+        """
+        key %= KEY_SPACE
+        target = self.serving_node(key)
+        result = yield from self.iter_lookup(
+            target if target != self.owner_of(key) else key, origin
+        )
+        values = self.nodes[result.owner].store.get(key)
+        if not values and result.owner != self.owner_of(key):
+            # Stale replica registration: re-route to the ring owner.
+            result = yield from self.iter_lookup(key, origin)
+            values = self.nodes[result.owner].store.get(key)
+        self.meter.charge(
+            category, max(1, result.hops), self.cost_model.routed_bytes(0, result.hops)
+        )
+        if not values:
+            raise KeyNotFoundError(f"no values under key {key:x}")
+        return values, result
 
     def get_local(self, node_id: int, key: int) -> list[Any]:
         """Read a node's local store directly (no messages)."""

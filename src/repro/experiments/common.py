@@ -127,6 +127,12 @@ def clear_caches() -> None:
     _network_cache.clear()
     _workload_cache.clear()
     _campaign_cache.clear()
+    # Downstream per-experiment caches (imported lazily: those modules
+    # import this one).
+    from repro.experiments import fig07_latency, sec7_deployment
+
+    fig07_latency._event_report_cache.clear()
+    sec7_deployment._report_cache.clear()
 
 
 @dataclass

@@ -40,11 +40,13 @@ EXPERIMENTS = {
     "fig05": fig05_result_cdf.run,
     "fig06": fig06_union_cdf.run,
     "fig07": fig07_latency.run,
+    "fig07-cdf": fig07_latency.run_cdf,
     "fig08": fig08_flood_overhead.run,
     "fig09": fig09_pf_threshold.run,
     "fig10": fig10_publish_overhead.run,
     "fig11": fig11_qr.run,
     "fig12": fig12_qdr.run,
+    "fig12-cdf": fig12_qdr.run_cdf,
     "fig13": fig13_schemes_qr.run,
     "fig14": fig14_schemes_qdr.run,
     "fig15": fig15_sam_sweep.run,

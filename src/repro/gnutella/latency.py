@@ -43,6 +43,28 @@ class GnutellaLatencyModel:
             start += 2 * previous.ttl * self.hop_time + self.round_pause
         return start
 
+    def arrival_for_depth(self, depth: float, max_ttl: int) -> float:
+        """First-arrival time of a result hosted ``depth`` hops away.
+
+        Under iterative deepening a replica at hop ``d`` is first reached
+        in the round with TTL ``d``, after rounds 1..d-1 have completed:
+
+            arrival = initial + sum_{t<d} (2 t hop + pause) + 2 d hop
+
+        Returns ``math.inf`` when the replica is beyond ``max_ttl``. This
+        closed form matches :meth:`first_result_latency` over an actual
+        :class:`DynamicQueryResult` (the tests verify it); event-driven
+        drivers (:mod:`repro.hybrid.engine`) schedule one result-arrival
+        event per distinct depth at exactly these virtual times.
+        """
+        if math.isinf(depth) or depth > max_ttl:
+            return math.inf
+        d = max(1, int(depth))
+        arrival = self.initial_overhead
+        for ttl in range(1, d):
+            arrival += 2 * ttl * self.hop_time + self.round_pause
+        return arrival + 2 * d * self.hop_time
+
     def first_result_latency(self, result: DynamicQueryResult) -> float:
         """Seconds until the first result reaches the query node.
 

@@ -356,20 +356,7 @@ def first_result_latency_for_depth(
 ) -> float:
     """Latency until dynamic querying first reaches a replica at ``depth``.
 
-    With iterative deepening from TTL 1, a replica at hop ``d`` is first
-    reached in the round with TTL d, after rounds 1..d-1 have completed:
-
-        latency = initial + sum_{t<d} (2 t hop + pause) + 2 d hop
-
-    This closed form matches
-    :meth:`GnutellaLatencyModel.first_result_latency` over an actual
-    :class:`DynamicQueryResult`, which the tests verify.
+    Delegates to :meth:`GnutellaLatencyModel.arrival_for_depth`, the
+    round/hop closed form shared with the event-driven query engine.
     """
-    if math.isinf(depth) or depth > max_ttl:
-        return math.inf
-    d = max(1, int(depth))
-    latency = latency_model.initial_overhead
-    for ttl in range(1, d):
-        latency += 2 * ttl * latency_model.hop_time + latency_model.round_pause
-    latency += 2 * d * latency_model.hop_time
-    return latency
+    return latency_model.arrival_for_depth(depth, max_ttl)

@@ -3,9 +3,10 @@
 :mod:`repro.hybrid.rare_items` implements the localized schemes for
 identifying rare items worth publishing into the DHT (Perfect, Random,
 QRS, TF, TPF, SAM); :mod:`repro.hybrid.ultrapeer` is the hybrid
-LimeWire/PIERSearch ultrapeer of Figure 17; and
-:mod:`repro.hybrid.deployment` reproduces the 50-node PlanetLab
-deployment experiment.
+LimeWire/PIERSearch ultrapeer of Figure 17; :mod:`repro.hybrid.engine`
+races Gnutella flooding against the DHT re-query as scheduled events in
+virtual time; and :mod:`repro.hybrid.deployment` reproduces the 50-node
+PlanetLab deployment experiment (on the event-driven engine by default).
 """
 
 from repro.hybrid.rare_items import (
@@ -20,9 +21,13 @@ from repro.hybrid.rare_items import (
     published_for_budget,
 )
 from repro.hybrid.ultrapeer import HybridQueryOutcome, HybridUltrapeer
+from repro.hybrid.engine import HybridQueryEngine, QueryRace, RaceConfig
 from repro.hybrid.deployment import DeploymentConfig, DeploymentReport, run_deployment
 
 __all__ = [
+    "HybridQueryEngine",
+    "QueryRace",
+    "RaceConfig",
     "RareItemScheme",
     "CompressedTermFrequencyScheme",
     "PerfectScheme",

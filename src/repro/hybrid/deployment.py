@@ -21,8 +21,10 @@ from repro.cache.popularity import PopularityEstimator, query_key
 from repro.cache.replication import AdaptiveReplicationController, ReplicationConfig
 from repro.cache.results import QueryResultCache
 from repro.common.rng import make_rng, spawn_rng
+from repro.dht.churn import ChurnProcess
 from repro.dht.network import DhtNetwork
 from repro.gnutella.latency import GnutellaLatencyModel
+from repro.hybrid.engine import HybridQueryEngine, RaceConfig
 from repro.gnutella.measurement import (
     ContentMatcher,
     bfs_depths,
@@ -74,6 +76,20 @@ class DeploymentConfig:
     replication_extra: int = 2
     #: virtual time between test-phase leaf queries
     query_interval: float = 1.0
+    # --- event-driven query engine (repro.hybrid.engine) --------------
+    #: run each leaf query as a virtual-time race (flood arrivals vs the
+    #: hop-by-hop DHT re-query); False falls back to the closed-form path
+    event_driven: bool = True
+    #: mean one-way DHT hop latency used by the engine's draws
+    dht_hop_latency: float = 1.2
+    #: fractional jitter of each per-hop latency draw
+    hop_jitter: float = 0.35
+    #: virtual time between churn steps on the private DHT (0 = no churn)
+    churn_interval: float = 0.0
+    #: churn steps applied during the test phase
+    churn_steps: int = 0
+    #: fraction of churn departures that are abrupt failures
+    churn_failure_fraction: float = 0.5
 
 
 @dataclass
@@ -99,6 +115,13 @@ class DeploymentReport:
     cache_bytes_saved: int = 0
     #: hot posting-list keys the replication controller spread out
     replicated_keys: int = 0
+    # --- event-driven engine (zero when the analytic path ran) --------
+    #: most leaf queries simultaneously in flight in virtual time
+    peak_inflight: int = 0
+    #: mid-query route repairs performed across all DHT walks
+    route_retries: int = 0
+    #: re-queries abandoned after exhausting their retry budget
+    pier_abandoned: int = 0
 
     @property
     def publish_kb_per_file(self) -> float:
@@ -274,10 +297,33 @@ def run_deployment(config: DeploymentConfig | None = None) -> DeploymentReport:
     report = DeploymentReport(config=config)
     depths_cache: dict[int, dict[int, int]] = {}
     test_rng = spawn_rng(rng, "testorigin")
-    gnutella_zero = hybrid_zero = oracle_zero = 0
+    gnutella_zero = oracle_zero = 0
+
+    # The event-driven engine races every leaf query in virtual time;
+    # the analytic fallback (event_driven=False) keeps the closed-form
+    # pricing for comparison runs.
+    engine: HybridQueryEngine | None = None
+    if config.event_driven:
+        engine = HybridQueryEngine(
+            sim,
+            dht,
+            latency_model=latency_model,
+            config=RaceConfig(
+                dht_hop_latency=config.dht_hop_latency,
+                hop_jitter=config.hop_jitter,
+            ),
+            rng=spawn_rng(rng, "engine"),
+        )
+    if config.churn_interval > 0 and config.churn_steps > 0:
+        churn = ChurnProcess(
+            dht,
+            rng=spawn_rng(rng, "churn"),
+            failure_fraction=config.churn_failure_fraction,
+        )
+        churn.schedule(sim, config.churn_interval, config.churn_steps)
 
     def run_test_query(query) -> None:
-        nonlocal gnutella_zero, hybrid_zero, oracle_zero
+        nonlocal gnutella_zero, oracle_zero
         hybrid = test_rng.choice(hybrids)
         depths = depths_cache.get(hybrid.ultrapeer_id)
         if depths is None:
@@ -295,28 +341,26 @@ def run_deployment(config: DeploymentConfig | None = None) -> DeploymentReport:
             match_depths, config.desired_results, config.client_max_ttl
         )
         gnutella_count = sum(1 for depth in match_depths if depth <= stop_ttl)
-        first_depth = min(match_depths, default=math.inf)
-        gnutella_latency = first_result_latency_for_depth(
-            first_depth, latency_model, config.client_max_ttl
-        )
-        outcome = hybrid.handle_leaf_query(
-            list(query.terms), gnutella_count, gnutella_latency
-        )
-        report.outcomes.append(outcome)
-        if outcome.used_pier:
-            if not outcome.cache_hit:
-                report.pier_query_bytes.append(outcome.pier_bytes)
-            if outcome.pier_results > 0:
-                report.pier_first_result_latencies.append(
-                    outcome.pier_latency - config.gnutella_timeout
-                )
+        if engine is not None:
+            race = hybrid.handle_leaf_query_simulated(
+                engine, list(query.terms), match_depths, stop_ttl
+            )
+            report.outcomes.append(race.outcome)
+        else:
+            first_depth = min(match_depths, default=math.inf)
+            gnutella_latency = first_result_latency_for_depth(
+                first_depth, latency_model, config.client_max_ttl
+            )
+            outcome = hybrid.handle_leaf_query(
+                list(query.terms), gnutella_count, gnutella_latency
+            )
+            report.outcomes.append(outcome)
         gnutella_zero += 1 if gnutella_count == 0 else 0
-        hybrid_zero += 1 if outcome.total_results == 0 else 0
         oracle_zero += 1 if not matches else 0
 
     # Leaf queries arrive as simulator events, one every query_interval of
-    # virtual time — this is the clock the cache's TTLs and the replication
-    # controller's expiries run on.
+    # virtual time — this is the clock the cache's TTLs, the replication
+    # controller's expiries, churn, and (event-driven) the races run on.
     for position, query in enumerate(test):
         sim.schedule_at(
             position * config.query_interval,
@@ -324,7 +368,25 @@ def run_deployment(config: DeploymentConfig | None = None) -> DeploymentReport:
         )
     sim.run()
 
+    # Outcomes are final only once the simulator drains (event-driven
+    # races resolve long after submission), so derive the per-query
+    # aggregates in a single post-run pass for both paths.
     n = len(test)
+    hybrid_zero = 0
+    for outcome in report.outcomes:
+        if outcome.total_results == 0:
+            hybrid_zero += 1
+        if outcome.used_pier:
+            if not outcome.cache_hit:
+                report.pier_query_bytes.append(outcome.pier_bytes)
+            if outcome.pier_results > 0:
+                report.pier_first_result_latencies.append(
+                    outcome.pier_latency - config.gnutella_timeout
+                )
+    if engine is not None:
+        report.peak_inflight = engine.peak_inflight
+        report.route_retries = sum(race.route_retries for race in engine.races)
+        report.pier_abandoned = sum(1 for race in engine.races if race.pier_failed)
     report.gnutella_no_result_fraction = gnutella_zero / n
     report.hybrid_no_result_fraction = hybrid_zero / n
     report.oracle_no_result_fraction = oracle_zero / n

@@ -1,0 +1,352 @@
+"""Event-driven hybrid query engine: the Figure 7/12 race in virtual time.
+
+The closed-form hybrid path (:meth:`HybridUltrapeer.handle_leaf_query`)
+prices each source analytically — a precomputed Gnutella first-result
+latency, then ``critical_path_hops x dht_hop_latency`` for PIER. That is
+exact for an idle, static overlay, but it cannot show what happens when
+thousands of queries are in flight at once, when churn strikes mid-query,
+or how the first-result CDF actually looks. This module runs the race
+instead:
+
+* **Gnutella side** — matching replicas become result-arrival events
+  scheduled per the dynamic-query round structure
+  (:meth:`GnutellaLatencyModel.arrival_for_depth`): one event per distinct
+  replica depth, at the virtual time the TTL-``d`` round reaches it.
+* **DHT side** — at the timeout (if nothing arrived) the re-query fires:
+  the plan's keyword-site chain is routed hop by hop through
+  :meth:`DhtNetwork.iter_lookup`, one simulator event and one latency draw
+  per overlay hop. Churn scheduled mid-run removes nodes *between* those
+  hop events, so in-flight walks really lose their next hop and recover
+  through successor lists; a route broken beyond repair retries with
+  backoff and eventually abandons the DHT side of the race.
+* **Resolution** — whichever source delivers first in virtual time wins
+  the first-result latency; late Gnutella arrivals still count toward the
+  final answer set, exactly like the analytic policy.
+
+The engine only *times* the walk; wire costs stay charged once by the
+PIER executor when the prepared plan executes, so byte accounting matches
+the analytic path.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.errors import DhtError, PlanError
+from repro.common.rng import make_rng
+from repro.dht.network import DhtNetwork
+from repro.gnutella.latency import GnutellaLatencyModel
+from repro.hybrid.ultrapeer import HybridQueryOutcome, HybridUltrapeer
+from repro.pier.query import DistributedPlan
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class RaceConfig:
+    """Engine-level timing knobs for the simulated race.
+
+    Per-ultrapeer policy (the Gnutella timeout and the cache-hit
+    latency) lives on :class:`HybridUltrapeer` itself; the engine reads
+    it from the submitting ultrapeer so both query paths share one
+    source of truth.
+    """
+
+    #: mean one-way per-hop latency on the DHT overlay (seconds)
+    dht_hop_latency: float = 1.2
+    #: fractional spread of each hop draw: U[mean*(1-j), mean*(1+j)]
+    hop_jitter: float = 0.35
+    #: re-query attempts before the DHT side of the race is abandoned
+    max_requery_attempts: int = 3
+    #: virtual time between a broken route and the next attempt
+    retry_backoff: float = 2.0
+
+
+@dataclass
+class QueryRace:
+    """One leaf query in flight: the record the engine completes."""
+
+    outcome: HybridQueryOutcome
+    submitted_at: float
+    stop_ttl: int
+    #: gnutella results that have arrived so far in virtual time
+    gnutella_arrived: int = 0
+    #: DHT re-query attempts started (0 = never re-queried)
+    pier_attempts: int = 0
+    #: route repairs performed across all of this race's DHT walks
+    route_retries: int = 0
+    #: the DHT side gave up: routes stayed broken through every retry
+    pier_failed: bool = False
+    done: bool = False
+    finished_at: float | None = None
+    #: invoked exactly once when the race resolves
+    on_done: Callable[["QueryRace"], None] | None = None
+
+    @property
+    def first_result_latency(self) -> float:
+        return self.outcome.first_result_latency
+
+
+@dataclass
+class _Walk:
+    """State of one in-progress hop-by-hop plan-dissemination walk."""
+
+    race: QueryRace
+    hybrid: HybridUltrapeer
+    plan: DistributedPlan
+    #: consecutive distinct sites still to reach, in chain order
+    targets: list[int]
+    index: int = 0
+    origin: int = 0
+    gen: object = None
+    hops: int = 0
+
+
+class HybridQueryEngine:
+    """Races Gnutella flooding against the DHT re-query on a simulator.
+
+    One engine serves every hybrid ultrapeer sharing a simulator and a
+    DHT; races from different ultrapeers overlap freely in virtual time
+    (the concurrency regime the benchmark drives past 1k in-flight).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dht: DhtNetwork,
+        latency_model: GnutellaLatencyModel | None = None,
+        config: RaceConfig | None = None,
+        rng=None,
+    ):
+        self.sim = sim
+        self.dht = dht
+        self.latency_model = latency_model or GnutellaLatencyModel()
+        self.config = config or RaceConfig()
+        self.rng = make_rng(rng)
+        self.races: list[QueryRace] = []
+        self.inflight = 0
+        self.peak_inflight = 0
+        self.completed = 0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        hybrid: HybridUltrapeer,
+        terms: list[str],
+        match_depths: list[float],
+        stop_ttl: int,
+        on_done: Callable[[QueryRace], None] | None = None,
+    ) -> QueryRace:
+        """Schedule one leaf query's race; it resolves as the simulator runs.
+
+        ``match_depths`` holds the overlay depth of every matching replica
+        from the querying ultrapeer (``inf`` for unreachable ones); only
+        replicas within ``stop_ttl`` produce arrival events.
+        """
+        reachable = Counter(
+            max(1, int(depth)) for depth in match_depths if depth <= stop_ttl
+        )
+        outcome = HybridQueryOutcome(
+            terms=tuple(terms),
+            gnutella_results=sum(reachable.values()),
+            gnutella_latency=math.inf,
+        )
+        race = QueryRace(
+            outcome=outcome,
+            submitted_at=self.sim.now,
+            stop_ttl=stop_ttl,
+            on_done=on_done,
+        )
+        self.races.append(race)
+        self.inflight += 1
+        self.peak_inflight = max(self.peak_inflight, self.inflight)
+        # One arrival event per distinct depth: every replica at depth d
+        # becomes visible when the TTL-d round reaches it.
+        for depth, count in sorted(reachable.items()):
+            at = self.latency_model.arrival_for_depth(depth, stop_ttl)
+            if not math.isinf(at):
+                self.sim.schedule(
+                    at, lambda race=race, count=count: self._on_gnutella_arrival(race, count)
+                )
+        self.sim.schedule(
+            hybrid.gnutella_timeout, lambda: self._on_timeout(race, hybrid)
+        )
+        return race
+
+    # ------------------------------------------------------------------
+    # Gnutella side
+    # ------------------------------------------------------------------
+
+    def _on_gnutella_arrival(self, race: QueryRace, count: int) -> None:
+        if race.gnutella_arrived == 0:
+            race.outcome.gnutella_latency = self.sim.now - race.submitted_at
+        race.gnutella_arrived += count
+
+    # ------------------------------------------------------------------
+    # DHT side
+    # ------------------------------------------------------------------
+
+    def _on_timeout(self, race: QueryRace, hybrid: HybridUltrapeer) -> None:
+        if race.gnutella_arrived > 0:
+            # Gnutella answered in time: no re-query, race resolved.
+            self._finish(race)
+            return
+        race.outcome.used_pier = True
+        terms = list(race.outcome.terms)
+        entry = hybrid.cache_lookup(terms)
+        if entry is not None:
+            outcome = race.outcome
+            outcome.cache_hit = True
+            outcome.pier_results = entry.result_count
+            outcome.saved_bytes = entry.cost_bytes
+            self.sim.schedule(
+                hybrid.cache_latency, lambda: self._complete_pier(race)
+            )
+            return
+        self._start_requery(race, hybrid)
+
+    def _start_requery(self, race: QueryRace, hybrid: HybridUltrapeer) -> None:
+        if race.done:
+            return
+        race.pier_attempts += 1
+        try:
+            query_node = hybrid.dht_node_id
+            if query_node not in self.dht.nodes:
+                # The ultrapeer's own DHT node churned out; re-enter
+                # anywhere (raises DhtError when the ring is empty, which
+                # must resolve the race, not escape the simulator).
+                query_node = self.dht.random_node_id()
+            plan = hybrid.search_engine.prepare(
+                list(race.outcome.terms), query_node=query_node
+            )
+        except PlanError:
+            # No indexable terms: the re-query cannot be issued at all.
+            self._finish(race)
+            return
+        except DhtError:
+            self._retry(race, hybrid)
+            return
+        targets: list[int] = []
+        previous = plan.query_node
+        for stage in plan.stages:
+            if stage.site != previous:
+                targets.append(stage.site)
+                previous = stage.site
+        walk = _Walk(
+            race=race, hybrid=hybrid, plan=plan, targets=targets, origin=plan.query_node
+        )
+        self._step_walk(walk)
+
+    def _step_walk(self, walk: _Walk) -> None:
+        """Advance the plan-dissemination walk by one overlay hop."""
+        race = walk.race
+        if race.done:
+            return
+        try:
+            while True:
+                if walk.gen is None:
+                    if walk.index >= len(walk.targets):
+                        self._execute(walk)
+                        return
+                    origin = walk.origin
+                    if origin not in self.dht.nodes:
+                        origin = self.dht.random_node_id()
+                    walk.gen = self.dht.iter_lookup(
+                        walk.targets[walk.index], origin=origin
+                    )
+                    next(walk.gen)  # position at the origin (hop zero)
+                try:
+                    next(walk.gen)  # take one overlay hop
+                    walk.hops += 1
+                    break
+                except StopIteration as stop:
+                    result = stop.value
+                    race.route_retries += result.retries
+                    walk.origin = result.owner
+                    walk.index += 1
+                    walk.gen = None
+        except DhtError:
+            # The route broke mid-walk beyond successor-list repair.
+            self._retry(race, walk.hybrid)
+            return
+        self.sim.schedule(self._hop_delay(), lambda: self._step_walk(walk))
+
+    def _execute(self, walk: _Walk) -> None:
+        """Chain fully routed: execute the plan, then schedule the answer."""
+        race = walk.race
+        try:
+            result = walk.hybrid.search_engine.execute_plan(walk.plan)
+        except DhtError:
+            # A plan site churned out between preparation and execution.
+            self._retry(race, walk.hybrid)
+            return
+        outcome = race.outcome
+        outcome.pier_results = len(result)
+        outcome.pier_bytes = result.stats.bytes
+        walk.hybrid.cache_store(list(outcome.terms), result)
+        # The answer/item-fetch tail: whatever part of the critical path
+        # the dissemination chain did not cover.
+        tail_hops = max(1, result.stats.critical_path_hops - result.stats.chain_hops)
+        delay = sum(self._hop_delay() for _ in range(tail_hops))
+        self.sim.schedule(delay, lambda: self._complete_pier(race))
+
+    def _retry(self, race: QueryRace, hybrid: HybridUltrapeer) -> None:
+        if race.pier_attempts >= self.config.max_requery_attempts:
+            race.pier_failed = True
+            self._finish(race)
+            return
+        self.sim.schedule(
+            self.config.retry_backoff, lambda: self._start_requery(race, hybrid)
+        )
+
+    def _complete_pier(self, race: QueryRace) -> None:
+        race.outcome.pier_latency = self.sim.now - race.submitted_at
+        self._finish(race)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    def _finish(self, race: QueryRace) -> None:
+        if race.done:
+            return
+        race.done = True
+        race.finished_at = self.sim.now
+        self.inflight -= 1
+        self.completed += 1
+        if race.on_done is not None:
+            race.on_done(race)
+
+    def _hop_delay(self) -> float:
+        mean = self.config.dht_hop_latency
+        jitter = self.config.hop_jitter
+        if jitter <= 0:
+            return mean
+        return self.rng.uniform(mean * (1 - jitter), mean * (1 + jitter))
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def all_done(self) -> bool:
+        return self.inflight == 0
+
+    def first_result_latencies(self) -> list[float]:
+        """Finite simulated first-result latencies of resolved races."""
+        return [
+            race.first_result_latency
+            for race in self.races
+            if race.done and not math.isinf(race.first_result_latency)
+        ]
+
+    def throughput(self) -> float:
+        """Resolved races per unit of virtual time."""
+        if self.sim.now <= 0:
+            return 0.0
+        return self.completed / self.sim.now

@@ -7,18 +7,32 @@ items (QRS scheme: results of queries returning fewer than 20 results),
 and hands them to the PIERSearch client for publishing into the DHT.
 Leaf queries that return nothing from Gnutella within a timeout are
 re-issued through PIERSearch.
+
+Two query paths coexist. :meth:`HybridUltrapeer.handle_leaf_query` is the
+closed-form path (precomputed Gnutella latency, PIER priced as critical
+path hops x hop latency). :meth:`HybridUltrapeer.handle_leaf_query_simulated`
+instead *runs the race* on the event-driven engine
+(:mod:`repro.hybrid.engine`): Gnutella result arrivals, the re-query
+timeout, and every DHT routing hop become simulator events in virtual
+time, so concurrent queries overlap, churn breaks routes mid-query, and
+whichever source delivers first wins for real.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.cache.popularity import PopularityEstimator, query_key
 from repro.cache.results import QueryResultCache
+from repro.common.errors import PlanError
 from repro.piersearch.publisher import PublishReceipt, Publisher
-from repro.piersearch.search import SearchEngine
+from repro.piersearch.search import SearchEngine, SearchResult
 from repro.workload.library import SharedFile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.hybrid.engine import HybridQueryEngine, QueryRace
 
 QRS_RESULT_SIZE_THRESHOLD = 20
 DEFAULT_GNUTELLA_TIMEOUT = 30.0
@@ -172,33 +186,71 @@ class HybridUltrapeer:
             self.outcomes.append(outcome)
             return outcome
         outcome.used_pier = True
-        if self.result_cache is not None and cache_key:
-            entry = self.result_cache.get(terms)
-            if entry is not None:
-                # Served from the ultrapeer's own cache: no plan shipped,
-                # no posting lists touched, answer latency is local.
-                outcome.cache_hit = True
-                outcome.pier_results = entry.result_count
-                outcome.saved_bytes = entry.cost_bytes
-                outcome.pier_latency = self.gnutella_timeout + self.cache_latency
-                self.outcomes.append(outcome)
-                return outcome
+        entry = self.cache_lookup(terms)
+        if entry is not None:
+            # Served from the ultrapeer's own cache: no plan shipped,
+            # no posting lists touched, answer latency is local.
+            outcome.cache_hit = True
+            outcome.pier_results = entry.result_count
+            outcome.saved_bytes = entry.cost_bytes
+            outcome.pier_latency = self.gnutella_timeout + self.cache_latency
+            self.outcomes.append(outcome)
+            return outcome
         try:
             result = self.search_engine.search(terms, query_node=self.dht_node_id)
-        except Exception:
-            # Queries with no indexable terms cannot be re-issued.
+        except PlanError:
+            # Only a query with no indexable terms cannot be re-issued;
+            # anything else (routing faults, schema bugs) must propagate.
             self.outcomes.append(outcome)
             return outcome
         outcome.pier_results = len(result)
         outcome.pier_bytes = result.stats.bytes
         pier_time = result.stats.critical_path_hops * self.dht_hop_latency
         outcome.pier_latency = self.gnutella_timeout + pier_time
-        if self.result_cache is not None and cache_key:
-            self.result_cache.put(
-                terms,
-                result.filenames,
-                cost_bytes=result.stats.bytes,
-                result_count=len(result),
-            )
+        self.cache_store(terms, result)
         self.outcomes.append(outcome)
         return outcome
+
+    def handle_leaf_query_simulated(
+        self,
+        engine: "HybridQueryEngine",
+        terms: list[str],
+        match_depths: list[float],
+        stop_ttl: int,
+    ) -> "QueryRace":
+        """Run one leaf query as a virtual-time race on ``engine``.
+
+        The Gnutella side is described by ``match_depths`` — the overlay
+        depth of every matching replica from this ultrapeer (``inf`` when
+        unreachable) — and the dynamic-query stopping TTL. The engine
+        schedules the result arrivals, the re-query timeout, and the
+        hop-by-hop DHT walk; the returned race's outcome (also appended
+        to :attr:`outcomes`) is final once the simulator drains.
+        """
+        cache_key = query_key(terms)
+        if self.popularity is not None and cache_key:
+            self.popularity.observe(cache_key)
+        race = engine.submit(self, terms, match_depths, stop_ttl)
+        self.outcomes.append(race.outcome)
+        return race
+
+    # ------------------------------------------------------------------
+    # Result-cache hooks (shared by both query paths)
+    # ------------------------------------------------------------------
+
+    def cache_lookup(self, terms: list[str]):
+        """Consult the shared result cache; None on miss or when disabled."""
+        if self.result_cache is None or not query_key(terms):
+            return None
+        return self.result_cache.get(terms)
+
+    def cache_store(self, terms: list[str], result: SearchResult) -> None:
+        """Offer a freshly executed answer to the result cache."""
+        if self.result_cache is None or not query_key(terms):
+            return
+        self.result_cache.put(
+            terms,
+            result.filenames,
+            cost_bytes=result.stats.bytes,
+            result_count=len(result),
+        )

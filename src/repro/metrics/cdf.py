@@ -27,6 +27,22 @@ def fraction_at_most(values: Sequence[float], threshold: float) -> float:
     return sum(1 for value in values if value <= threshold) / len(values)
 
 
+def quantile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of a sample, by linear interpolation."""
+    if not values:
+        raise ValueError("quantile of an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0,1], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
 def cdf_at(points: list[tuple[float, float]], x: float) -> float:
     """Evaluate a discrete CDF (as produced by :func:`discrete_cdf`) at x."""
     result = 0.0

@@ -118,6 +118,7 @@ class DistributedExecutor:
 
         # 1. Disseminate the query plan to every participating site.
         stats_hops = self._disseminate(plan, stats)
+        stats.chain_hops = stats_hops
 
         # 2. Walk the keyword chain, rehashing survivors site to site.
         first = plan.stages[0]
@@ -185,6 +186,7 @@ class DistributedExecutor:
         # 1. Route the query (~850 B plan) to the single hosting site.
         first = plan.stages[0]
         hops = self._route_hops(plan.query_node, first.site)
+        stats.chain_hops = hops
         plan_bytes = self.cost_model.routed_bytes(self.cost_model.query_plan_bytes, hops)
         self._charge(stats, "pier.query", max(1, hops), plan_bytes)
 

@@ -66,6 +66,9 @@ class QueryStats:
     bytes: int = 0
     #: overlay hops on the longest sequential path (drives latency)
     critical_path_hops: int = 0
+    #: hops of the sequential plan-dissemination chain, a prefix of the
+    #: critical path (the remainder is the answer/item-fetch tail)
+    chain_hops: int = 0
     per_stage_entries: list[int] = field(default_factory=list)
 
     @property

@@ -14,7 +14,7 @@ from repro.dht.network import DhtNetwork
 from repro.pier.catalog import Catalog
 from repro.pier.executor import DistributedExecutor
 from repro.pier.planner import KeywordPlanner
-from repro.pier.query import JoinStrategy, QueryStats
+from repro.pier.query import DistributedPlan, JoinStrategy, QueryStats
 from repro.pier.schema import Row
 from repro.piersearch.tokenizer import extract_keywords
 
@@ -50,17 +50,19 @@ class SearchEngine:
         self.planner = KeywordPlanner(catalog)
         self.executor = DistributedExecutor(network, catalog)
 
-    def search(
+    def prepare(
         self,
         terms: list[str],
         query_node: int | None = None,
         strategy: JoinStrategy | None = None,
-    ) -> SearchResult:
-        """Run a conjunctive keyword query.
+    ) -> DistributedPlan:
+        """Normalise ``terms`` and build the plan without executing it.
 
         ``terms`` are normalised with the same tokenizer used at publish
         time, so stop words in the query are ignored (a query that is all
-        stop words raises :class:`~repro.common.errors.PlanError`).
+        stop words raises :class:`~repro.common.errors.PlanError`). The
+        event-driven query engine uses this to learn the keyword-site
+        chain it must route hop by hop before executing.
         """
         normalised: list[str] = []
         for term in terms:
@@ -79,13 +81,26 @@ class SearchEngine:
             planner = KeywordPlanner(self.catalog, posting_table="InvertedCache")
         else:
             planner = self.planner
-        plan = planner.plan(normalised, query_node, strategy=strategy)
+        return planner.plan(normalised, query_node, strategy=strategy)
+
+    def execute_plan(self, plan: DistributedPlan) -> SearchResult:
+        """Execute an already-prepared plan. See :meth:`search`."""
         items, stats = self.executor.execute(plan)
         # Post-filter: DHT keyword match is exact-token; ensure conjunctive
         # semantics hold on the returned filenames (mirrors client behavior).
-        matching = [item for item in items if _matches_all(item["filename"], normalised)]
+        keywords = list(plan.keywords)
+        matching = [item for item in items if _matches_all(item["filename"], keywords)]
         stats.results = len(matching)
-        return SearchResult(terms=tuple(normalised), items=matching, stats=stats)
+        return SearchResult(terms=plan.keywords, items=matching, stats=stats)
+
+    def search(
+        self,
+        terms: list[str],
+        query_node: int | None = None,
+        strategy: JoinStrategy | None = None,
+    ) -> SearchResult:
+        """Run a conjunctive keyword query (:meth:`prepare` + :meth:`execute_plan`)."""
+        return self.execute_plan(self.prepare(terms, query_node, strategy))
 
 
 def _matches_all(filename: str, terms: list[str]) -> bool:

@@ -58,6 +58,17 @@ class TestZipfSampler:
         with pytest.raises(ValueError):
             sampler.probability(21)
 
+    def test_default_rng_is_deterministic(self):
+        """rng=None routes through make_rng: traces regenerate bit-for-bit."""
+        a = ZipfSampler(100).sample_many(50)
+        b = ZipfSampler(100).sample_many(50)
+        assert a == b
+
+    def test_accepts_integer_seed(self):
+        assert ZipfSampler(100, rng=7).sample_many(20) == ZipfSampler(
+            100, rng=7
+        ).sample_many(20)
+
 
 class TestCalibratePowerLawAlpha:
     def test_hits_target_singleton_fraction(self):

@@ -63,6 +63,26 @@ class TestChurnStep:
         assert network.size >= 1
 
 
+class TestUnstabilizedChurn:
+    def test_stabilize_false_leaves_stale_tables(self):
+        network = DhtNetwork(rng=3)
+        network.populate(24)
+        churn = ChurnProcess(network, rng=4, failure_fraction=1.0)
+        before = {n: list(network.nodes[n].successors) for n in network.nodes}
+        churn.churn_step(joins=0, leaves=4, stabilize=False)
+        # Survivors still name the departed nodes in their routing state.
+        stale = [
+            n
+            for n, successors in before.items()
+            if n in network.nodes
+            and any(s not in network.nodes for s in successors)
+        ]
+        assert stale
+        network.stabilize()
+        for node in network.nodes.values():
+            assert all(s in network.nodes for s in node.successors)
+
+
 class TestScheduledChurn:
     def test_schedule_runs_steps(self):
         network = DhtNetwork(rng=1)

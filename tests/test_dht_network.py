@@ -168,3 +168,216 @@ class TestDeparture:
         for i in range(20):
             key = hash_key(f"post-churn-{i}")
             assert network.lookup(key).owner == network.owner_of(key)
+
+    def test_graceful_leave_charges_handoff_bandwidth(self):
+        network = DhtNetwork(rng=9)
+        network.populate(32)
+        network.put("persist", "value")
+        owner = network.owner_of(hash_key("persist"))
+        before = network.meter.by_category.get("dht.handoff")
+        network.remove_node(owner, graceful=True)
+        cost = network.meter.by_category["dht.handoff"]
+        assert before is None
+        assert cost.messages >= 1
+        assert cost.bytes > 0
+
+    def test_ungraceful_failure_charges_nothing(self):
+        network = DhtNetwork(rng=9)
+        network.populate(32)
+        network.put("fragile", "value")
+        owner = network.owner_of(hash_key("fragile"))
+        network.remove_node(owner, graceful=False)
+        assert "dht.handoff" not in network.meter.by_category
+
+    def test_join_pulls_owned_slice_from_successor(self):
+        """A node joining mid-run takes over its key slice with the data."""
+        network = DhtNetwork(rng=21)
+        network.populate(16)
+        for i in range(40):
+            network.put(f"item-{i}", i)
+        stored_before = network.total_stored()
+        for _ in range(8):
+            network.create_node()
+        network.stabilize()
+        assert network.total_stored() == stored_before
+        for i in range(40):
+            assert network.get(f"item-{i}") == [i]
+
+
+class TestDeadEndRegression:
+    """lookup() must never answer from a node that does not own the key."""
+
+    def _broken_network(self):
+        network = DhtNetwork(rng=13)
+        network.populate(4)
+        key = hash_key("dead-end-key")
+        owner = network.owner_of(key)
+        non_owner = next(n for n in network.nodes if n != owner)
+        # Corrupt the non-owner's routing state: no fingers, no successors
+        # (the state a badly partitioned node would be left with).
+        network.nodes[non_owner].fingers = []
+        network.nodes[non_owner].successors = []
+        return network, key, non_owner
+
+    def test_lookup_dead_end_raises_not_wrong_owner(self):
+        network, key, non_owner = self._broken_network()
+        with pytest.raises(DhtError):
+            network.lookup(key, origin=non_owner)
+
+    def test_iter_lookup_dead_end_raises(self):
+        network, key, non_owner = self._broken_network()
+        with pytest.raises(DhtError):
+            for _ in network.iter_lookup(key, origin=non_owner):
+                pass
+
+    def test_lookup_owner_always_owns(self):
+        network = DhtNetwork(rng=31)
+        network.populate(48)
+        for i in range(60):
+            key = hash_key(f"own-{i}")
+            result = network.lookup(key)
+            assert network.nodes[result.owner].owns(key)
+
+
+class TestIterLookup:
+    def test_matches_synchronous_lookup_when_stable(self):
+        network = DhtNetwork(rng=19)
+        network.populate(64)
+        for i in range(25):
+            key = hash_key(f"iter-{i}")
+            origin = network.random_node_id()
+            sync = network.lookup(key, origin=origin)
+            gen = network.iter_lookup(key, origin=origin)
+            hops = list(_drive(gen))
+            result = _result_of(network.iter_lookup(key, origin=origin))
+            assert result.owner == sync.owner
+            assert hops[0] == origin
+            assert hops[-1] == sync.owner
+            assert result.retries == 0
+
+    def test_recovers_when_current_node_dies_mid_walk(self):
+        network = DhtNetwork(rng=23)
+        network.populate(64)
+        key = hash_key("mid-walk-victim")
+        # Find an origin whose route has an intermediate hop to kill.
+        origin = next(
+            o
+            for o in network.nodes
+            if len(network.lookup(key, origin=o).path) >= 3
+        )
+        victim = network.lookup(key, origin=origin).path[1]
+        gen = network.iter_lookup(key, origin=origin)
+        next(gen)  # at origin
+        next(gen)  # first hop: the walk now sits on or before the victim
+        network.remove_node(victim, graceful=False)
+        result = _result_of(gen)
+        assert result.owner in network.nodes
+        assert network.nodes[result.owner].owns(key)
+
+    def test_stale_finger_falls_back_to_successors(self):
+        network = DhtNetwork(rng=27)
+        network.populate(64)
+        key = hash_key("stale-finger")
+        origin = next(
+            o
+            for o in network.nodes
+            if len(network.lookup(key, origin=o).path) >= 3
+        )
+        planned = network.lookup(key, origin=origin).path
+        gen = network.iter_lookup(key, origin=origin)
+        next(gen)
+        # Kill the next planned hop; nobody stabilizes, so the origin's
+        # finger is now stale and the walk must route around it via the
+        # successor list.
+        network.remove_node(planned[1], graceful=False)
+        result = _result_of(gen)
+        assert result.retries >= 1
+        assert network.nodes[result.owner].owns(key)
+
+    def test_iter_get_raw_returns_values_and_hops(self):
+        network = DhtNetwork(rng=29)
+        network.populate(32)
+        network.put("walked", "v")
+        gen = network.iter_get_raw(hash_key("walked"))
+        hops = []
+        try:
+            while True:
+                hops.append(next(gen))
+        except StopIteration as stop:
+            values, result = stop.value
+        assert values == ["v"]
+        assert hops[-1] == result.owner
+        assert len(hops) == len(result.path)
+
+
+class TestReplicaRotationUnderChurn:
+    def _replicated(self):
+        network = DhtNetwork(rng=37)
+        network.populate(32)
+        network.put("hot", "v")
+        key = hash_key("hot")
+        owner = network.owner_of(key)
+        replicas = [n for n in network.nodes if n != owner][:2]
+        for replica in replicas:
+            network.nodes[replica].store.put(key, "v", identity="v")
+        network.register_replicas(key, replicas)
+        return network, key, owner, replicas
+
+    def test_rotation_covers_owner_and_replicas(self):
+        network, key, owner, replicas = self._replicated()
+        served = {network.serving_node(key, notify=False) for _ in range(6)}
+        assert served == {owner, *replicas}
+
+    def test_remove_node_shrinks_rotation(self):
+        """After a replica holder departs, the cursor must keep rotating
+        over the survivors and never name the departed node."""
+        network, key, owner, replicas = self._replicated()
+        # Advance the cursor to the end of the rotation first.
+        for _ in range(len(replicas)):
+            network.serving_node(key, notify=False)
+        network.remove_node(replicas[0], graceful=True)
+        served = [network.serving_node(key, notify=False) for _ in range(6)]
+        assert replicas[0] not in served
+        assert set(served) <= {owner, replicas[1]}
+
+    def test_removing_last_replica_unregisters_key(self):
+        network, key, owner, replicas = self._replicated()
+        for replica in replicas:
+            network.remove_node(replica, graceful=True)
+        assert network.replica_nodes(key) == []
+        served = {network.serving_node(key, notify=False) for _ in range(4)}
+        assert served == {network.owner_of(key)}
+
+    def test_stale_replica_falls_back_to_owner(self):
+        """A registered replica that lost its copy must not serve a miss."""
+        network, key, owner, replicas = self._replicated()
+        for replica in replicas:
+            network.nodes[replica].store.remove_key(key)
+        for _ in range(4):
+            assert network.get_raw(key) == ["v"]
+
+    def test_stale_replica_fallback_after_churn_shrinks_set(self):
+        network, key, owner, replicas = self._replicated()
+        # One replica churns out entirely, the other goes stale.
+        network.remove_node(replicas[0], graceful=False)
+        network.stabilize()
+        network.nodes[replicas[1]].store.remove_key(key)
+        for _ in range(4):
+            assert network.get_raw(key) == ["v"]
+
+
+def _drive(gen):
+    hops = []
+    try:
+        while True:
+            hops.append(next(gen))
+    except StopIteration:
+        return hops
+
+
+def _result_of(gen):
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return stop.value

@@ -75,6 +75,42 @@ class TestFig07:
             assert label_to_latency["1"] > 20.0
 
 
+class TestFig07Cdf:
+    """The event-driven variant: latencies are virtual-time race results."""
+
+    def test_cdf_monotone_and_positive(self):
+        result = fig07_latency.run_cdf(SMALL_SCALE)
+        hybrid = result.column("hybrid_s")
+        assert hybrid == sorted(hybrid)
+        assert all(value > 0 for value in hybrid)
+
+    def test_hybrid_tail_no_worse_than_flooding_alone(self):
+        result = fig07_latency.run_cdf(SMALL_SCALE)
+        # The DHT answers rare queries shortly after the timeout, capping
+        # the tail that pure flooding stretches into deep rounds.
+        tail = result.rows[-1]
+        assert tail[1] <= tail[2] + 1e-9
+
+    def test_fast_percentiles_match_flooding(self):
+        result = fig07_latency.run_cdf(SMALL_SCALE)
+        # Popular queries never wait for the DHT: at the fast end the
+        # hybrid's latency is exactly Gnutella's.
+        head = result.rows[0]
+        assert head[1] == pytest.approx(head[2])
+
+
+class TestFig12Cdf:
+    def test_winner_split_shapes(self):
+        result = fig12_qdr.run_cdf(SMALL_SCALE)
+        flood = result.column("flood_won_s")
+        dht = result.column("dht_won_s")
+        # Flooding wins are fast; DHT wins land only after the timeout.
+        assert flood[0] < 30.0
+        finite_dht = [value for value in dht if not math.isnan(value)]
+        if finite_dht:
+            assert min(finite_dht) > 30.0
+
+
 class TestFig08:
     def test_diminishing_returns(self):
         result = fig08_flood_overhead.run(SMALL_SCALE, num_ultrapeers=2000, num_origins=3)

@@ -1,5 +1,7 @@
 """Integration tests for the Section 7 deployment simulation."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.hybrid.deployment import DeploymentConfig, run_deployment
@@ -47,6 +49,64 @@ class TestDeploymentOutcomes:
 
     def test_outcome_count_matches_test_queries(self, report):
         assert len(report.outcomes) == report.config.num_test_queries
+
+
+class TestEventDrivenRace:
+    """The deployment's default path: every leaf query is a virtual-time
+    race on the event-driven engine."""
+
+    @pytest.fixture(scope="class")
+    def small_config(self):
+        return DeploymentConfig(
+            num_ultrapeers=200,
+            num_leaves=800,
+            num_hybrid=15,
+            num_items=300,
+            num_background_queries=100,
+            num_test_queries=80,
+            seed=11,
+        )
+
+    @pytest.fixture(scope="class")
+    def event_report(self, small_config):
+        return run_deployment(small_config)
+
+    def test_event_and_analytic_paths_agree_on_results(
+        self, small_config, event_report
+    ):
+        """The engine changes *when* answers arrive, never *what* they are."""
+        analytic = run_deployment(replace(small_config, event_driven=False))
+        assert (
+            event_report.gnutella_no_result_fraction
+            == analytic.gnutella_no_result_fraction
+        )
+        assert (
+            event_report.hybrid_no_result_fraction
+            == analytic.hybrid_no_result_fraction
+        )
+        for simulated, closed_form in zip(event_report.outcomes, analytic.outcomes):
+            assert simulated.used_pier == closed_form.used_pier
+            assert simulated.total_results == closed_form.total_results
+
+    def test_queries_overlap_in_virtual_time(self, event_report):
+        # 1 s submit interval against a 30 s timeout: races must overlap.
+        assert event_report.peak_inflight > 10
+
+    def test_pier_latencies_exceed_timeout(self, small_config, event_report):
+        answered = [
+            outcome
+            for outcome in event_report.outcomes
+            if outcome.used_pier and outcome.pier_results > 0
+        ]
+        for outcome in answered:
+            assert outcome.pier_latency > small_config.gnutella_timeout
+
+    def test_churn_mid_run_keeps_deployment_whole(self, small_config):
+        churned = run_deployment(
+            replace(small_config, churn_interval=15.0, churn_steps=4)
+        )
+        assert len(churned.outcomes) == small_config.num_test_queries
+        assert churned.peak_inflight > 1
 
 
 class TestInvertedCacheVariant:

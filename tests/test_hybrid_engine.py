@@ -1,0 +1,259 @@
+"""Tests for the event-driven hybrid query engine (virtual-time races)."""
+
+import math
+
+import pytest
+
+from repro.cache.popularity import PopularityEstimator
+from repro.cache.results import QueryResultCache
+from repro.dht.network import DhtNetwork
+from repro.gnutella.latency import GnutellaLatencyModel
+from repro.hybrid.engine import HybridQueryEngine, RaceConfig
+from repro.hybrid.ultrapeer import HybridUltrapeer
+from repro.pier.catalog import Catalog
+from repro.piersearch.publisher import Publisher
+from repro.piersearch.search import SearchEngine
+from repro.sim.engine import Simulator
+
+TIMEOUT = 30.0
+
+
+@pytest.fixture()
+def world():
+    dht = DhtNetwork(rng=41)
+    nodes = dht.populate(32)
+    catalog = Catalog(dht)
+    publisher = Publisher(dht, catalog)
+    search = SearchEngine(dht, catalog)
+    sim = Simulator()
+    engine = HybridQueryEngine(sim, dht, config=RaceConfig(retry_backoff=0.5), rng=5)
+    hybrid = HybridUltrapeer(
+        ultrapeer_id=1,
+        dht_node_id=nodes[0].node_id,
+        publisher=publisher,
+        search_engine=search,
+        gnutella_timeout=TIMEOUT,
+    )
+    return sim, dht, engine, hybrid
+
+
+def publish(hybrid, name):
+    hybrid.publisher.publish_file(
+        filename=name, filesize=100, ip_address="10.0.0.1", port=6346
+    )
+
+
+class TestGnutellaSide:
+    def test_popular_query_wins_without_pier(self, world):
+        sim, _, engine, hybrid = world
+        race = hybrid.handle_leaf_query_simulated(engine, ["popular"], [1.0, 2.0], stop_ttl=3)
+        sim.run()
+        assert race.done
+        outcome = race.outcome
+        assert not outcome.used_pier
+        assert outcome.gnutella_results == 2
+        model = GnutellaLatencyModel()
+        assert outcome.gnutella_latency == pytest.approx(model.arrival_for_depth(1, 3))
+        assert outcome.first_result_latency < TIMEOUT
+
+    def test_arrival_times_follow_round_structure(self, world):
+        sim, _, engine, hybrid = world
+        race = hybrid.handle_leaf_query_simulated(engine, ["deep"], [3.0], stop_ttl=3)
+        sim.run()
+        model = GnutellaLatencyModel()
+        assert race.outcome.gnutella_latency == pytest.approx(model.arrival_for_depth(3, 3))
+
+    def test_replicas_beyond_stop_ttl_do_not_count(self, world):
+        sim, _, engine, hybrid = world
+        race = hybrid.handle_leaf_query_simulated(engine, ["far"], [4.0], stop_ttl=3)
+        sim.run()
+        assert race.outcome.gnutella_results == 0
+        assert race.outcome.used_pier
+
+
+class TestDhtSide:
+    def test_rare_query_answered_by_pier_after_timeout(self, world):
+        sim, _, engine, hybrid = world
+        publish(hybrid, "rare montia klorena.mp3")
+        race = hybrid.handle_leaf_query_simulated(engine, ["montia"], [math.inf], stop_ttl=3)
+        sim.run()
+        outcome = race.outcome
+        assert race.done and outcome.used_pier
+        assert outcome.pier_results == 1
+        assert outcome.pier_latency > TIMEOUT
+        assert outcome.pier_bytes > 0
+        assert outcome.first_result_latency == outcome.pier_latency
+
+    def test_race_picks_faster_source(self, world):
+        """Gnutella results arriving after the timeout race the DHT."""
+        sim, _, engine, hybrid = world
+        publish(hybrid, "rare montia klorena.mp3")
+        # Depth 4 with stop_ttl 4 arrives deep into the round structure,
+        # after the 30 s timeout has already fired the re-query.
+        race = hybrid.handle_leaf_query_simulated(engine, ["montia"], [4.0], stop_ttl=4)
+        sim.run()
+        outcome = race.outcome
+        assert outcome.used_pier
+        assert outcome.gnutella_latency > TIMEOUT
+        assert outcome.first_result_latency == min(
+            outcome.gnutella_latency, outcome.pier_latency
+        )
+
+    def test_stop_word_query_cannot_requery(self, world):
+        sim, _, engine, hybrid = world
+        race = hybrid.handle_leaf_query_simulated(engine, ["the"], [math.inf], stop_ttl=3)
+        sim.run()
+        assert race.done
+        assert race.outcome.used_pier
+        assert race.outcome.pier_results == 0
+        assert math.isinf(race.outcome.first_result_latency)
+
+    def test_pier_latency_reflects_hop_count(self, world):
+        sim, _, engine, hybrid = world
+        publish(hybrid, "rare montia klorena.mp3")
+        race = hybrid.handle_leaf_query_simulated(engine, ["montia"], [math.inf], stop_ttl=3)
+        sim.run()
+        # At least one hop draw past the timeout, bounded by the jitter.
+        config = engine.config
+        minimum = TIMEOUT + config.dht_hop_latency * (1 - config.hop_jitter)
+        assert race.outcome.pier_latency >= minimum
+
+
+class TestCacheIntegration:
+    @pytest.fixture()
+    def cached_world(self):
+        dht = DhtNetwork(rng=41)
+        nodes = dht.populate(32)
+        catalog = Catalog(dht)
+        publisher = Publisher(dht, catalog)
+        search = SearchEngine(dht, catalog)
+        sim = Simulator()
+        engine = HybridQueryEngine(sim, dht, rng=5)
+        hybrid = HybridUltrapeer(
+            ultrapeer_id=1,
+            dht_node_id=nodes[0].node_id,
+            publisher=publisher,
+            search_engine=search,
+            gnutella_timeout=TIMEOUT,
+            result_cache=QueryResultCache(budget_bytes=64 * 1024),
+            popularity=PopularityEstimator(),
+        )
+        return sim, engine, hybrid
+
+    def test_second_identical_query_hits_cache(self, cached_world):
+        sim, engine, hybrid = cached_world
+        publish(hybrid, "rare montia klorena.mp3")
+        first = hybrid.handle_leaf_query_simulated(engine, ["montia"], [math.inf], 3)
+        sim.run()
+        second = hybrid.handle_leaf_query_simulated(engine, ["montia"], [math.inf], 3)
+        sim.run()
+        assert not first.outcome.cache_hit and second.outcome.cache_hit
+        assert second.outcome.pier_results == first.outcome.pier_results
+        assert second.outcome.saved_bytes == first.outcome.pier_bytes > 0
+        assert second.outcome.pier_latency == pytest.approx(
+            TIMEOUT + hybrid.cache_latency
+        )
+        assert second.outcome.pier_latency < first.outcome.pier_latency
+
+
+class TestChurnDuringQueries:
+    def test_races_survive_churn_mid_query(self, world):
+        sim, dht, engine, hybrid = world
+        for index in range(12):
+            publish(hybrid, f"rare montia{index:02d} klorena.mp3")
+        races = [
+            hybrid.handle_leaf_query_simulated(
+                engine, [f"montia{index:02d}"], [math.inf], 3
+            )
+            for index in range(12)
+        ]
+        # Node departures land while every re-query walk is in flight
+        # (between timeout and completion), without stabilization.
+        for step in range(1, 7):
+            sim.schedule(
+                TIMEOUT + step * 0.8,
+                lambda: dht.remove_node(dht.random_node_id(), graceful=True),
+            )
+        sim.run()
+        assert all(race.done for race in races)
+        answered = [race for race in races if race.outcome.pier_results > 0]
+        assert len(answered) >= 8
+        assert engine.inflight == 0
+
+    def test_hybrid_dht_node_churned_out_still_queries(self, world):
+        sim, dht, engine, hybrid = world
+        publish(hybrid, "rare montia klorena.mp3")
+        dht.remove_node(hybrid.dht_node_id, graceful=True)
+        dht.stabilize()
+        race = hybrid.handle_leaf_query_simulated(engine, ["montia"], [math.inf], 3)
+        sim.run()
+        assert race.done
+        assert race.outcome.pier_results == 1
+
+    def test_abandoned_requery_marks_pier_failed(self, world):
+        sim, dht, engine, hybrid = world
+        publish(hybrid, "rare montia klorena.mp3")
+        race = hybrid.handle_leaf_query_simulated(engine, ["montia"], [math.inf], 3)
+        # Empty the network right when the re-query fires: every attempt
+        # must fail and the DHT side of the race gives up cleanly.
+        def nuke():
+            for node_id in list(dht.nodes):
+                if dht.size > 1:
+                    dht.remove_node(node_id, graceful=False)
+        sim.schedule(TIMEOUT - 0.01, nuke)
+        sim.run()
+        assert race.done
+        assert race.outcome.pier_results == 0
+
+    def test_all_races_resolve_eventually(self, world):
+        """Liveness: no race may hang, whatever churn does."""
+        sim, dht, engine, hybrid = world
+        for index in range(10):
+            publish(hybrid, f"rare montia{index:02d} klorena.mp3")
+        for index in range(10):
+            hybrid.handle_leaf_query_simulated(
+                engine, [f"montia{index:02d}"], [math.inf], 3
+            )
+        for step in range(1, 10):
+            sim.schedule(TIMEOUT + step * 0.5, lambda: (
+                dht.size > 4 and dht.remove_node(dht.random_node_id(), graceful=False)
+            ))
+        sim.run()
+        assert engine.inflight == 0
+        assert engine.completed == 10
+
+
+class TestConcurrencyAccounting:
+    def test_peak_inflight_tracks_overlap(self, world):
+        sim, _, engine, hybrid = world
+        for index in range(5):
+            sim.schedule_at(
+                index * 1.0,
+                lambda: hybrid.handle_leaf_query_simulated(
+                    engine, ["popular"], [1.0], 3
+                ),
+            )
+        sim.run()
+        assert engine.peak_inflight == 5
+        assert engine.completed == 5
+        assert engine.all_done
+
+    def test_deterministic_given_seeds(self):
+        def build_and_run():
+            dht = DhtNetwork(rng=41)
+            nodes = dht.populate(32)
+            catalog = Catalog(dht)
+            publisher = Publisher(dht, catalog)
+            search = SearchEngine(dht, catalog)
+            sim = Simulator()
+            engine = HybridQueryEngine(sim, dht, rng=5)
+            hybrid = HybridUltrapeer(1, nodes[0].node_id, publisher, search)
+            publish(hybrid, "rare montia klorena.mp3")
+            races = [
+                hybrid.handle_leaf_query_simulated(engine, ["montia"], [math.inf], 3)
+                for _ in range(3)
+            ]
+            sim.run()
+            return [race.outcome.pier_latency for race in races]
+
+        assert build_and_run() == build_and_run()
