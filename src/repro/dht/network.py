@@ -24,6 +24,15 @@ from repro.dht.node import DhtNode
 MAX_HOPS_FACTOR = 4  # routing gives up after 4*log2(N)+8 hops
 
 
+@dataclass(frozen=True)
+class BatchShipment:
+    """Wire cost of one shipped tuple batch (see :meth:`DhtNetwork.ship_batch`)."""
+
+    hops: int
+    messages: int
+    bytes: int
+
+
 @dataclass
 class LookupResult:
     """Outcome of routing a key to its responsible node."""
@@ -62,6 +71,9 @@ class DhtNetwork:
         self._ring: list[int] = []  # sorted node ids
         self.meter = BandwidthMeter()
         self._stale = False
+        #: bumped on every join/leave; cheap epoch stamp for caches (e.g.
+        #: the catalog's posting-size statistics) that must not survive churn
+        self.membership_version = 0
         # --- replica-aware read path (repro.cache.replication) --------
         #: called as (key, serving_node) on every read-target resolution
         self.read_listener: Callable[[int, int], None] | None = None
@@ -90,6 +102,7 @@ class DhtNetwork:
         self.nodes[node_id] = node
         bisect.insort(self._ring, node_id)
         self._stale = True
+        self.membership_version += 1
         if len(self._ring) > 1:
             index = bisect.bisect_left(self._ring, node_id)
             successor_id = self._ring[(index + 1) % len(self._ring)]
@@ -128,6 +141,7 @@ class DhtNetwork:
         index = bisect.bisect_left(self._ring, node_id)
         self._ring.pop(index)
         self._stale = True
+        self.membership_version += 1
         if graceful and self._ring:
             successor = responsible_node(self._ring, node_id)
             target = self.nodes[successor]
@@ -344,6 +358,42 @@ class DhtNetwork:
     # ------------------------------------------------------------------
     # Data path
     # ------------------------------------------------------------------
+
+    def ship_batch(
+        self,
+        source: int,
+        target: int,
+        payload_bytes: int,
+        category: str = "pier.exchange",
+        direct: bool = False,
+    ) -> "BatchShipment":
+        """Ship one tuple batch from node ``source`` to node ``target``.
+
+        The streaming-exchange primitive: charges exactly what the atomic
+        executor charges for the same payload over the same edge, so a
+        query split into batches pays the same per-payload cost and only
+        the per-message overhead scales with the batch count.
+
+        * ``direct=False`` (rehash traffic): the batch routes through the
+          DHT — one message per overlay hop, payload charged once plus a
+          header per hop (:meth:`CostModel.routed_bytes`).
+        * ``direct=True`` (query answers): one direct hop back to the
+          query node, bypassing DHT routing, exactly like PIER's answer
+          path.
+
+        Raises :class:`DhtError` when routing to ``target`` breaks (the
+        caller — an in-flight dataflow — decides whether to retry).
+        """
+        if direct:
+            hops = 0 if source == target else 1
+            messages = 1
+            byte_count = self.cost_model.message_bytes(payload_bytes)
+        else:
+            hops = 0 if source == target else self.lookup(target, origin=source).hops
+            messages = max(1, hops)
+            byte_count = self.cost_model.routed_bytes(payload_bytes, hops)
+        self.meter.charge(category, messages, byte_count)
+        return BatchShipment(hops=hops, messages=messages, bytes=byte_count)
 
     def put(
         self,

@@ -71,6 +71,7 @@ def run_cdf(scale: PaperScale = PAPER_SCALE) -> ExperimentResult:
             f"event-driven races: flooding won {len(flood_won)} and the DHT "
             f"won {len(dht_won)} of {answered} answered queries; rare "
             f"answers land just past the {report.config.gnutella_timeout:.0f}s "
-            "timeout instead of never"
+            "timeout instead of never (DHT wins resolve at the first answer "
+            "batch of the pipelined dataflow, not at full-join completion)"
         ),
     )

@@ -17,6 +17,7 @@ from repro.experiments import common
 from repro.experiments import (
     ext_cache_effectiveness,
     ext_churn,
+    ext_dataflow,
     ext_horizon_load,
     fig04_replication,
     fig05_result_cdf,
@@ -56,6 +57,7 @@ EXPERIMENTS = {
     "ext-horizon": ext_horizon_load.run,
     "ext-churn": ext_churn.run,
     "ext-cache": ext_cache_effectiveness.run,
+    "ext-dataflow": ext_dataflow.run,
 }
 
 

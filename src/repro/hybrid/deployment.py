@@ -84,6 +84,14 @@ class DeploymentConfig:
     dht_hop_latency: float = 1.2
     #: fractional jitter of each per-hop latency draw
     hop_jitter: float = 0.35
+    #: how re-queries execute once routed: "pipelined" streams tuple
+    #: batches through the exchange dataflow (first answer can win
+    #: mid-join); "atomic" keeps the legacy lump-sum execution
+    execution_mode: str = "pipelined"
+    #: exchange batch size override (None = planner's per-plan choice)
+    batch_size: int | None = None
+    #: per-site join memory budget (None = unbounded, no spilling)
+    memory_budget: int | None = None
     #: virtual time between churn steps on the private DHT (0 = no churn)
     churn_interval: float = 0.0
     #: churn steps applied during the test phase
@@ -311,6 +319,9 @@ def run_deployment(config: DeploymentConfig | None = None) -> DeploymentReport:
             config=RaceConfig(
                 dht_hop_latency=config.dht_hop_latency,
                 hop_jitter=config.hop_jitter,
+                execution_mode=config.execution_mode,
+                batch_size=config.batch_size,
+                memory_budget=config.memory_budget,
             ),
             rng=spawn_rng(rng, "engine"),
         )

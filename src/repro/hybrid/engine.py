@@ -19,13 +19,22 @@ instead:
   hop events, so in-flight walks really lose their next hop and recover
   through successor lists; a route broken beyond repair retries with
   backoff and eventually abandons the DHT side of the race.
+* **Execution** — once the chain is routed, the plan runs on the
+  streaming exchange dataflow (:mod:`repro.pier.dataflow`) sharing this
+  simulator: posting-list tuple batches ship site-to-site as events, and
+  the race resolves at the *first answer batch* while upstream batches
+  are still in flight — a DHT answer wins mid-join, and
+  ``pier_completion_latency`` records when the pipeline actually drained.
+  ``RaceConfig(execution_mode="atomic")`` restores the legacy synchronous
+  execute with its analytic answer tail.
 * **Resolution** — whichever source delivers first in virtual time wins
   the first-result latency; late Gnutella arrivals still count toward the
   final answer set, exactly like the analytic policy.
 
-The engine only *times* the walk; wire costs stay charged once by the
-PIER executor when the prepared plan executes, so byte accounting matches
-the analytic path.
+Wire costs are charged exactly once — by the dataflow's batch sends in
+pipelined mode, or by the atomic executor in compatibility mode — and the
+two runtimes account byte-identical payloads, so bandwidth comparisons
+against the analytic path stay valid either way.
 """
 
 from __future__ import annotations
@@ -40,7 +49,9 @@ from repro.common.rng import make_rng
 from repro.dht.network import DhtNetwork
 from repro.gnutella.latency import GnutellaLatencyModel
 from repro.hybrid.ultrapeer import HybridQueryOutcome, HybridUltrapeer
+from repro.pier.dataflow import DataflowConfig, DataflowExecutor, DataflowQuery
 from repro.pier.query import DistributedPlan
+from repro.piersearch.search import SearchEngine
 from repro.sim.engine import Simulator
 
 
@@ -62,6 +73,20 @@ class RaceConfig:
     max_requery_attempts: int = 3
     #: virtual time between a broken route and the next attempt
     retry_backoff: float = 2.0
+    #: how the re-query plan executes once the chain is routed:
+    #: "pipelined" streams tuple batches through the exchange dataflow on
+    #: the engine's simulator (a DHT answer can win mid-join);
+    #: "atomic" is the legacy compatibility path (one synchronous
+    #: execute_plan call priced as a lump tail)
+    execution_mode: str = "pipelined"
+    #: exchange batch size override (None = the plan's planner choice,
+    #: falling back to the dataflow default)
+    batch_size: int | None = None
+    #: per-site join memory budget; overflow spills to the DHT temp store
+    memory_budget: int | None = None
+    #: stop each re-query after this many answer tuples, cancelling
+    #: upstream in-flight batches (None = drain the full join)
+    stop_after: int | None = None
 
 
 @dataclass
@@ -129,6 +154,34 @@ class HybridQueryEngine:
         self.inflight = 0
         self.peak_inflight = 0
         self.completed = 0
+        if self.config.execution_mode not in ("atomic", "pipelined"):
+            raise ValueError(
+                f"unknown execution mode {self.config.execution_mode!r}"
+            )
+        #: one dataflow runtime per search engine, sharing this simulator
+        #: and RNG so races and tuple batches interleave deterministically
+        #: (the SearchEngine itself is held as the key so a recycled id()
+        #: can never alias a stale runtime)
+        self._dataflows: dict[int, tuple[SearchEngine, DataflowExecutor]] = {}
+
+    def _dataflow_for(self, search_engine: SearchEngine) -> DataflowExecutor:
+        key = id(search_engine)
+        entry = self._dataflows.get(key)
+        if entry is not None and entry[0] is search_engine:
+            return entry[1]
+        dataflow = DataflowExecutor(
+            search_engine.network,
+            search_engine.catalog,
+            sim=self.sim,
+            config=DataflowConfig(
+                hop_latency=self.config.dht_hop_latency,
+                hop_jitter=self.config.hop_jitter,
+                memory_budget=self.config.memory_budget,
+            ),
+            rng=self.rng,
+        )
+        self._dataflows[key] = (search_engine, dataflow)
+        return dataflow
 
     # ------------------------------------------------------------------
     # Submission
@@ -277,23 +330,88 @@ class HybridQueryEngine:
         self.sim.schedule(self._hop_delay(), lambda: self._step_walk(walk))
 
     def _execute(self, walk: _Walk) -> None:
-        """Chain fully routed: execute the plan, then schedule the answer."""
+        """Chain fully routed: run the plan, then deliver the answer(s).
+
+        In ``pipelined`` mode (the default) the plan is handed to the
+        exchange dataflow on this engine's simulator: tuple batches flow
+        site-to-site as events, and the race resolves at the *first*
+        answer batch — a DHT answer can win mid-join, while the rest of
+        the pipeline keeps draining (its bytes still count, exactly like
+        the atomic accounting). ``atomic`` mode keeps the legacy path: a
+        synchronous execute priced as one answer/item-fetch tail.
+        """
         race = walk.race
-        try:
-            result = walk.hybrid.search_engine.execute_plan(walk.plan)
-        except DhtError:
-            # A plan site churned out between preparation and execution.
-            self._retry(race, walk.hybrid)
+        if self.config.execution_mode == "atomic":
+            try:
+                result = walk.hybrid.search_engine.execute_plan(walk.plan)
+            except DhtError:
+                # A plan site churned out between preparation and execution.
+                self._retry(race, walk.hybrid)
+                return
+            outcome = race.outcome
+            outcome.pier_results = len(result)
+            outcome.pier_bytes = result.stats.bytes
+            walk.hybrid.cache_store(list(outcome.terms), result)
+            # The answer/item-fetch tail: whatever part of the critical path
+            # the dissemination chain did not cover.
+            tail_hops = max(1, result.stats.critical_path_hops - result.stats.chain_hops)
+            delay = sum(self._hop_delay() for _ in range(tail_hops))
+            self.sim.schedule(delay, lambda: self._complete_pier(race))
             return
+        if self.config.batch_size is not None:
+            walk.plan.batch_size = self.config.batch_size
+        self._dataflow_for(walk.hybrid.search_engine).submit(
+            walk.plan,
+            stop_after=self.config.stop_after,
+            on_first_answer=lambda query: self._on_first_answer_batch(race),
+            on_complete=lambda query: self._on_pipeline_complete(race, walk, query),
+            on_error=lambda query, error: self._on_pipeline_error(race, walk, query),
+            delay_dissemination=False,  # the walk already spent that time
+        )
+
+    def _on_first_answer_batch(self, race: QueryRace) -> None:
+        """The first answer tuples reached the query node mid-join."""
+        race.outcome.pier_latency = self.sim.now - race.submitted_at
+        self._finish(race)
+
+    def _on_pipeline_complete(
+        self, race: QueryRace, walk: _Walk, query: DataflowQuery
+    ) -> None:
+        """The dataflow drained: final result set and byte totals are in."""
         outcome = race.outcome
+        result = walk.hybrid.search_engine.finalize(walk.plan, query.rows, query.stats)
         outcome.pier_results = len(result)
-        outcome.pier_bytes = result.stats.bytes
-        walk.hybrid.cache_store(list(outcome.terms), result)
-        # The answer/item-fetch tail: whatever part of the critical path
-        # the dissemination chain did not cover.
-        tail_hops = max(1, result.stats.critical_path_hops - result.stats.chain_hops)
-        delay = sum(self._hop_delay() for _ in range(tail_hops))
-        self.sim.schedule(delay, lambda: self._complete_pier(race))
+        outcome.pier_bytes = query.stats.bytes
+        outcome.pier_completion_latency = self.sim.now - race.submitted_at
+        if outcome.pier_latency == 0.0:
+            # No answer batch ever fired (empty result set): completion is
+            # the only PIER timestamp this race gets.
+            outcome.pier_latency = outcome.pier_completion_latency
+        if not query.pipeline.early_terminated:
+            # A stop_after run is a deliberately truncated answer set:
+            # never let it poison the shared result cache.
+            walk.hybrid.cache_store(list(outcome.terms), result)
+        self._finish(race)
+
+    def _on_pipeline_error(
+        self, race: QueryRace, walk: _Walk, query: DataflowQuery
+    ) -> None:
+        """The dataflow broke mid-join (a site or route churned away)."""
+        if race.done:
+            # The race already resolved (it won on a delivered answer
+            # batch): keep whatever partial results arrived rather than
+            # retrying or flagging a resolved race as failed — but do not
+            # cache a partial answer.
+            if query.rows:
+                outcome = race.outcome
+                result = walk.hybrid.search_engine.finalize(
+                    walk.plan, query.rows, query.stats
+                )
+                outcome.pier_results = len(result)
+                outcome.pier_bytes = query.stats.bytes
+                outcome.pier_completion_latency = self.sim.now - race.submitted_at
+            return
+        self._retry(race, walk.hybrid)
 
     def _retry(self, race: QueryRace, hybrid: HybridUltrapeer) -> None:
         if race.pier_attempts >= self.config.max_requery_attempts:
@@ -306,6 +424,8 @@ class HybridQueryEngine:
 
     def _complete_pier(self, race: QueryRace) -> None:
         race.outcome.pier_latency = self.sim.now - race.submitted_at
+        if race.outcome.pier_completion_latency == 0.0:
+            race.outcome.pier_completion_latency = race.outcome.pier_latency
         self._finish(race)
 
     # ------------------------------------------------------------------

@@ -51,6 +51,10 @@ class HybridQueryOutcome:
     used_pier: bool = False
     pier_results: int = 0
     pier_latency: float = 0.0
+    #: virtual time until PIER's pipeline fully drained (pipelined races
+    #: resolve at the first answer batch, so this is >= pier_latency; the
+    #: closed-form and atomic paths set it equal to pier_latency)
+    pier_completion_latency: float = 0.0
     pier_bytes: int = 0
     #: PIER answer served from the ultrapeer's result cache
     cache_hit: bool = False
@@ -194,6 +198,7 @@ class HybridUltrapeer:
             outcome.pier_results = entry.result_count
             outcome.saved_bytes = entry.cost_bytes
             outcome.pier_latency = self.gnutella_timeout + self.cache_latency
+            outcome.pier_completion_latency = outcome.pier_latency
             self.outcomes.append(outcome)
             return outcome
         try:
@@ -207,6 +212,7 @@ class HybridUltrapeer:
         outcome.pier_bytes = result.stats.bytes
         pier_time = result.stats.critical_path_hops * self.dht_hop_latency
         outcome.pier_latency = self.gnutella_timeout + pier_time
+        outcome.pier_completion_latency = outcome.pier_latency
         self.cache_store(terms, result)
         self.outcomes.append(outcome)
         return outcome

@@ -2,10 +2,13 @@
 
 This package reproduces the slice of PIER [Huebsch et al., VLDB 2003] that
 PIERSearch exercises: relational schemas and tuples, a catalog of DHT-
-indexed tables, local physical operators (scan / select / project /
-substring filter / symmetric hash join), and a distributed executor that
-routes plan stages between the DHT sites hosting each index key, charging
-every shipped tuple to the bandwidth meter.
+indexed tables (with memoized per-epoch posting statistics), local
+physical operators (scan / select / project / substring filter /
+incremental symmetric hash join with optional memory-budgeted spilling),
+and two execution runtimes behind one executor: the atomic stage-at-a-time
+path and the streaming exchange dataflow (:mod:`repro.pier.dataflow`)
+that ships tuple batches between sites as events in virtual time,
+charging every shipped tuple to the bandwidth meter either way.
 """
 
 from repro.pier.schema import Row, Schema, row_identity
@@ -19,10 +22,12 @@ from repro.pier.operators import (
     Projection,
     Scan,
     Selection,
+    SpillSink,
     SubstringFilter,
     SymmetricHashJoin,
 )
-from repro.pier.query import DistributedPlan, PlanStage, QueryStats
+from repro.pier.query import DistributedPlan, PipelineStats, PlanStage, QueryStats
+from repro.pier.dataflow import DataflowConfig, DataflowExecutor, DataflowQuery
 from repro.pier.executor import DistributedExecutor
 from repro.pier.planner import KeywordPlanner
 
@@ -42,9 +47,14 @@ __all__ = [
     "Distinct",
     "GroupByAggregate",
     "OrderByLimit",
+    "SpillSink",
     "DistributedPlan",
     "PlanStage",
     "QueryStats",
+    "PipelineStats",
+    "DataflowConfig",
+    "DataflowExecutor",
+    "DataflowQuery",
     "DistributedExecutor",
     "KeywordPlanner",
 ]

@@ -9,7 +9,7 @@ DHT itself as its index structure (Section 3.1 of the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.common.errors import KeyNotFoundError, SchemaError
 from repro.common.ids import hash_key
@@ -28,6 +28,9 @@ class TableHandle:
 
     schema: Schema
     network: DhtNetwork
+    #: invoked after every successful publish (the catalog hooks this to
+    #: invalidate its memoized per-key statistics)
+    on_publish: Callable[[], None] | None = None
 
     def publish(
         self,
@@ -47,6 +50,8 @@ class TableHandle:
             identity=row_identity(self.schema, row),
             category=category or f"publish.{self.schema.name}",
         )
+        if self.on_publish is not None:
+            self.on_publish()
         return result.hops
 
     def fetch(self, index_value: Any, origin: int | None = None) -> list[Row]:
@@ -96,18 +101,62 @@ class TableHandle:
 
 
 class Catalog:
-    """Registry of the tables available to the query processor."""
+    """Registry of the tables available to the query processor.
+
+    Besides table registration the catalog memoizes **per-epoch posting
+    statistics**: :meth:`posting_size` probes the ring owner once per
+    (table, key) and serves every subsequent planner probe from cache
+    until the epoch changes. An epoch is the pair (publishes seen by this
+    catalog, DHT membership version) — any publish or any churn event
+    invalidates the whole cache, so statistics can go stale for at most
+    zero events. Replaying a 70k-query workload plans from cache instead
+    of re-probing the same keywords thousands of times.
+    """
 
     def __init__(self, network: DhtNetwork):
         self.network = network
         self._tables: dict[str, TableHandle] = {}
+        self._publish_version = 0
+        self._stats_epoch: tuple[int, int] | None = None
+        self._posting_sizes: dict[tuple[str, Any], int] = {}
+        #: ring-owner probes actually performed (tests pin the memo rate)
+        self.stats_probes = 0
 
     def register(self, schema: Schema) -> TableHandle:
         if schema.name in self._tables:
             raise SchemaError(f"table {schema.name!r} already registered")
-        handle = TableHandle(schema=schema, network=self.network)
+        handle = TableHandle(
+            schema=schema, network=self.network, on_publish=self._note_publish
+        )
         self._tables[schema.name] = handle
         return handle
+
+    # -- per-epoch posting statistics ----------------------------------
+
+    def _note_publish(self) -> None:
+        self._publish_version += 1
+
+    def posting_size(self, table: str, index_value: Any) -> int:
+        """Stored-tuple count under ``index_value`` at its ring owner.
+
+        Memoized per epoch. The probe reads the ring owner directly (not
+        the replica-aware serving node) so statistics gathering neither
+        counts as a data read nor advances the replica rotation — the
+        same contract the planner's un-memoized probe had.
+        """
+        epoch = (self._publish_version, self.network.membership_version)
+        if epoch != self._stats_epoch:
+            self._posting_sizes.clear()
+            self._stats_epoch = epoch
+        cache_key = (table, index_value)
+        size = self._posting_sizes.get(cache_key)
+        if size is None:
+            handle = self.table(table)
+            owner = self.network.owner_of(table_key(table, index_value))
+            size = len(handle.fetch_local(owner, index_value))
+            self._posting_sizes[cache_key] = size
+            self.stats_probes += 1
+        return size
 
     def table(self, name: str) -> TableHandle:
         if name not in self._tables:

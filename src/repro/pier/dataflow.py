@@ -1,0 +1,847 @@
+"""Streaming exchange dataflow: pipelined, batched PIER execution.
+
+The atomic executor (:mod:`repro.pier.executor`) materialises each join
+stage of a distributed plan in one lump: all surviving tuples ship
+site-to-site in a single accounting step and the first answer exists only
+once the whole join has finished. This module replaces that with the
+runtime the paper actually describes — posting-list tuples *stream*
+between sites:
+
+* Each plan stage becomes a per-site operator pipeline (Scan → SHJ →
+  filters) and consecutive stages are connected by **exchange edges** that
+  ship fixed-size tuple batches over the DHT.
+* Every batch is a scheduled event in **virtual time** on a
+  :class:`~repro.sim.engine.Simulator`: a send event charges the batch's
+  wire bytes (:meth:`DhtNetwork.ship_batch`) and draws per-hop latencies
+  for its arrival; the receiving site probes its incremental
+  :class:`~repro.pier.operators.SymmetricHashJoin` and immediately
+  forwards new survivors downstream. The first answer therefore reaches
+  the query node while upstream batches are still in flight —
+  first-answer latency is a property of the *pipeline*, not the join.
+* Joins optionally run under a **memory budget**: overflowing build state
+  spills into the site's DHT temp-tuple store (the same store PIER uses
+  for all temporary tuples) and probes re-read the spilled partitions.
+* The query node supports **early termination**: once ``stop_after``
+  answer tuples have arrived, every in-flight and queued upstream batch
+  is cancelled through a :class:`~repro.sim.engine.EventGroup`, saving
+  the bytes those batches would have shipped.
+
+Byte accounting is *identical* to the atomic executor per payload: a
+batch pays its tuples once plus one routing header per hop, so a stage
+split into ``k`` batches costs exactly ``k-1`` extra header units per hop
+over the atomic lump sum — the batch-size sweep in
+``BENCH_dataflow.json`` measures that latency/bytes trade-off, and with
+``batch_size=None`` (one batch per edge) the two runtimes charge
+byte-identical totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.common.errors import DhtError
+from repro.common.ids import hash_key
+from repro.common.rng import make_rng
+from repro.common.units import CostModel
+from repro.dht.network import DhtNetwork
+from repro.pier.catalog import Catalog
+from repro.pier.operators import SpillSink, SubstringFilter, Scan, SymmetricHashJoin
+from repro.pier.query import (
+    DistributedPlan,
+    JoinStrategy,
+    PipelineStats,
+    QueryStats,
+)
+from repro.pier.schema import Row
+from repro.sim.engine import EventGroup, Simulator
+
+#: default tuples per exchange batch when neither the plan nor the
+#: executor's config picks one
+DEFAULT_BATCH_SIZE = 64
+
+
+def temp_ring_key(query_id: int, stage_index: int, tag: str = "") -> int:
+    """Ring key of a query's temporary tuples at one stage.
+
+    Matches the atomic executor's temp-tuple keying (``__temp__|q|s``);
+    ``tag`` distinguishes extra streams such as join spill partitions.
+    """
+    suffix = f"|{tag}" if tag else ""
+    return hash_key(f"__temp__|q{query_id}|s{stage_index}{suffix}")
+
+
+def route_hops(network: DhtNetwork, origin: int, key_owner: int) -> int:
+    """Overlay hops to route from ``origin`` to ``key_owner``'s id."""
+    if origin == key_owner:
+        return 0
+    return network.lookup(key_owner, origin=origin).hops
+
+
+def fetch_items_charged(
+    network: DhtNetwork,
+    catalog: Catalog,
+    cost_model: CostModel,
+    fileid_rows: list[Row],
+    query_node: int,
+    charge: Callable[[str, int, int], None],
+) -> tuple[list[Row], int]:
+    """Fetch Item tuples for surviving fileIDs, charging every message.
+
+    The single source of truth for item-fetch accounting — the atomic
+    executor and the streaming dataflow both call it, which is what keeps
+    their byte totals provably identical (pinned by the equivalence
+    suite). Returns (item rows, max routing hops across the parallel
+    fetches — the one that bounds latency).
+    """
+    items = catalog.table("Item")
+    results: list[Row] = []
+    max_fetch_hops = 0
+    for row in fileid_rows:
+        file_id = row["fileID"]
+        host = items.host_of(file_id)
+        hops = route_hops(network, query_node, host)
+        max_fetch_hops = max(max_fetch_hops, hops)
+        request_bytes = cost_model.routed_bytes(cost_model.fileid_bytes, hops)
+        fetched = items.fetch_local(host, file_id)
+        response_payload = sum(
+            cost_model.item_tuple_bytes(item["filename"]) for item in fetched
+        )
+        response_bytes = cost_model.message_bytes(response_payload)
+        charge("pier.item_fetch", max(1, hops) + 1, request_bytes + response_bytes)
+        results.extend(fetched)
+    return results, max_fetch_hops
+
+
+@dataclass(frozen=True)
+class DataflowConfig:
+    """Knobs of the streaming runtime."""
+
+    #: tuples per exchange batch (None = one batch per edge, which makes
+    #: byte accounting exactly match the atomic executor)
+    batch_size: int | None = DEFAULT_BATCH_SIZE
+    #: mean one-way per-hop latency of an overlay hop (virtual seconds)
+    hop_latency: float = 1.2
+    #: fractional spread of each hop draw: U[mean*(1-j), mean*(1+j)]
+    hop_jitter: float = 0.35
+    #: virtual time between consecutive batch sends on one exchange edge
+    #: (models serialising a batch onto the first hop)
+    send_interval: float = 0.15
+    #: max rows a join site holds in memory before spilling build state
+    #: to the DHT temp-tuple store (None = unbounded)
+    memory_budget: int | None = None
+
+
+class DataflowQuery:
+    """One pipelined query in flight; completed once ``done`` is set."""
+
+    def __init__(self, plan: DistributedPlan, stats: QueryStats, stop_after: int | None):
+        self.plan = plan
+        self.stats = stats
+        self.stop_after = stop_after
+        self.rows: list[Row] = []
+        self.done = False
+        self.error: DhtError | None = None
+
+    @property
+    def pipeline(self) -> PipelineStats:
+        return self.stats.pipeline
+
+    @property
+    def first_answer_time(self) -> float | None:
+        """Virtual seconds from submission to the first answer tuple."""
+        return self.pipeline.first_answer_time
+
+    @property
+    def completion_time(self) -> float | None:
+        """Virtual seconds from submission until the pipeline drained."""
+        return self.pipeline.completion_time
+
+
+class DataflowExecutor:
+    """Runs distributed plans as streaming dataflows in virtual time.
+
+    Standalone use drains a private simulator synchronously
+    (:meth:`execute`); the event-driven hybrid engine instead
+    :meth:`submit`\\ s queries onto its shared simulator, where tuple
+    flow interleaves with Gnutella arrivals, churn, and other races.
+    """
+
+    def __init__(
+        self,
+        network: DhtNetwork,
+        catalog: Catalog,
+        sim: Simulator | None = None,
+        cost_model: CostModel | None = None,
+        config: DataflowConfig | None = None,
+        rng=None,
+    ):
+        self.network = network
+        self.catalog = catalog
+        self.sim = sim or Simulator()
+        self.cost_model = cost_model or network.cost_model
+        self.config = config or DataflowConfig()
+        self.rng = make_rng(rng)
+        self._query_counter = 0
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        plan: DistributedPlan,
+        fetch_items: bool = True,
+        stop_after: int | None = None,
+    ) -> tuple[list[Row], QueryStats]:
+        """Run ``plan`` to completion on this executor's simulator.
+
+        Synchronous counterpart of :meth:`submit` for standalone use (do
+        not call it on a simulator shared with other activities — it
+        drains the whole event queue). Returns (rows, stats) exactly like
+        the atomic executor.
+        """
+        query = self.submit(plan, fetch_items=fetch_items, stop_after=stop_after)
+        self.sim.run()
+        if query.error is not None:
+            raise query.error
+        return query.rows, query.stats
+
+    def submit(
+        self,
+        plan: DistributedPlan,
+        fetch_items: bool = True,
+        stop_after: int | None = None,
+        on_first_answer: Callable[[DataflowQuery], None] | None = None,
+        on_complete: Callable[[DataflowQuery], None] | None = None,
+        on_error: Callable[[DataflowQuery, DhtError], None] | None = None,
+        delay_dissemination: bool = True,
+    ) -> DataflowQuery:
+        """Schedule ``plan`` as a pipelined dataflow; returns its handle.
+
+        ``delay_dissemination=False`` starts every stage immediately (the
+        hybrid engine uses it after walking the plan chain hop by hop in
+        its own virtual time — dissemination bytes are still charged).
+        """
+        self._query_counter += 1
+        run = _QueryRun(
+            self,
+            plan,
+            query_id=self._query_counter,
+            fetch_items=fetch_items,
+            stop_after=stop_after,
+            on_first_answer=on_first_answer,
+            on_complete=on_complete,
+            on_error=on_error,
+            delay_dissemination=delay_dissemination,
+        )
+        run.start()
+        return run.query
+
+    # ------------------------------------------------------------------
+    # Shared draws
+    # ------------------------------------------------------------------
+
+    def hop_delay(self) -> float:
+        mean = self.config.hop_latency
+        jitter = self.config.hop_jitter
+        if jitter <= 0:
+            return mean
+        return self.rng.uniform(mean * (1 - jitter), mean * (1 + jitter))
+
+
+# ----------------------------------------------------------------------
+# Internal runtime
+# ----------------------------------------------------------------------
+
+
+class _DhtSpillSink(SpillSink):
+    """Join spill state parked in the executing site's DHT temp store."""
+
+    def __init__(self, run: "_QueryRun", site: int, stage_index: int, column: str):
+        super().__init__(column)
+        self.run = run
+        self.site = site
+        self.keys = {
+            side: temp_ring_key(run.query_id, stage_index, f"spill-{side}")
+            for side in ("left", "right")
+        }
+        self._counts = {"left": 0, "right": 0}
+
+    def _node(self):
+        return self.run.executor.network.nodes.get(self.site)
+
+    def write(self, side: str, rows: list[Row]) -> None:
+        node = self._node()
+        if node is None:  # site churned out: keep state in memory instead
+            super().write(side, rows)
+            return
+        key = self.keys[side]
+        for row in rows:
+            node.store.put(key, dict(row), identity=(side, self._counts[side]))
+            self._counts[side] += 1
+            self.run.register_temp_key(self.site, key)
+        self.spilled_rows += len(rows)
+
+    def read(self, side: str, key: Any) -> list[Row]:
+        node = self._node()
+        if node is None:
+            return super().read(side, key)
+        self.reads += 1
+        stored = node.store.get(self.keys[side])
+        return [row for row in stored if row[self.column] == key]
+
+    def has_spilled(self, side: str) -> bool:
+        return self._counts[side] > 0 or super().has_spilled(side)
+
+
+class _Exchange:
+    """One edge of the dataflow: batches from ``source`` to ``target_site``.
+
+    Buffers offered tuples into fixed-size batches, paces sends
+    ``send_interval`` apart, charges each batch on send, and delivers a
+    free end-of-stream control event after the last data arrival (the
+    marker piggybacks on the final batch, so it costs no extra bytes).
+    """
+
+    def __init__(
+        self,
+        run: "_QueryRun",
+        source_site: int,
+        target_site: int,
+        category: str,
+        per_tuple_bytes: int,
+        deliver: Callable[[list[Row]], None],
+        deliver_eos: Callable[[], None],
+        direct: bool = False,
+        from_join: bool = False,
+        eager: bool = False,
+        ready_time: float = 0.0,
+    ):
+        self.run = run
+        self.source_site = source_site
+        self.target_site = target_site
+        self.category = category
+        self.per_tuple_bytes = per_tuple_bytes
+        self.deliver = deliver
+        self.deliver_eos = deliver_eos
+        self.direct = direct
+        #: upstream is a join stage: an empty close breaks the chain like
+        #: the atomic executor's early break, instead of shipping onward
+        self.from_join = from_join
+        #: answer edges stream eagerly — every offer ships at once, since
+        #: batching answers only delays what the user is waiting for
+        self.eager = eager
+        self.ready_time = ready_time
+        self._buffer: list[Row] = []
+        self._queue: list[list[Row]] = []
+        self._sending = False
+        self._closed = False
+        self._eos_sent = False
+        #: an empty stream already shipped its single empty batch
+        self.empty_shipped = False
+        self.tuples_sent = 0
+        self.batches_sent = 0
+        self._last_arrival = 0.0
+
+    def offer(self, rows: list[Row]) -> None:
+        if self.eager:
+            if rows:
+                self._queue.append(list(rows))
+                self._pump()
+            return
+        self._buffer.extend(rows)
+        threshold = self.run.batch_size
+        if threshold is None:
+            return  # stage granularity: everything ships on close
+        while len(self._buffer) >= threshold:
+            self._queue.append(self._buffer[:threshold])
+            self._buffer = self._buffer[threshold:]
+        self._pump()
+
+    def close(self) -> None:
+        """Upstream finished: flush the remainder and mark end-of-stream."""
+        self._closed = True
+        if self._buffer:
+            self._queue.append(self._buffer)
+            self._buffer = []
+        self._pump()
+
+    # -- send loop -----------------------------------------------------
+
+    def _pump(self) -> None:
+        if self._sending:
+            return
+        if self._queue:
+            self._sending = True
+            self.run.group.schedule(0.0, self._send_head)
+        elif self._closed:
+            self._finish_stream()
+
+    def _send_head(self) -> None:
+        batch = self._queue.pop(0)
+        try:
+            shipment = self.run.executor.network.ship_batch(
+                self.source_site,
+                self.target_site,
+                len(batch) * self.per_tuple_bytes,
+                category=self.category,
+                direct=self.direct,
+            )
+        except DhtError as error:
+            self.run.fail(error)
+            return
+        self.run.stats.messages += shipment.messages
+        self.run.stats.bytes += shipment.bytes
+        self.run.pipeline.batches_shipped += 1
+        self.batches_sent += 1
+        self.tuples_sent += len(batch)
+        if self.category == "pier.rehash":
+            self.run.stats.posting_entries_shipped += len(batch)
+        hops = 1 if self.direct else shipment.hops
+        delay = sum(self.run.executor.hop_delay() for _ in range(hops))
+        arrival = max(self.run.sim.now + delay, self.ready_time)
+        self._last_arrival = max(self._last_arrival, arrival)
+        self.run.group.schedule_at(arrival, lambda batch=batch: self._arrive(batch))
+        if self._queue:
+            self.run.group.schedule(
+                self.run.executor.config.send_interval, self._send_head
+            )
+        else:
+            self._sending = False
+            if self._closed:
+                self._finish_stream()
+
+    def _arrive(self, batch: list[Row]) -> None:
+        self.run.batches_delivered += 1
+        self.deliver(batch)
+
+    # -- end of stream ---------------------------------------------------
+
+    def _finish_stream(self) -> None:
+        if self._eos_sent:
+            return
+        if self.tuples_sent == 0 and not self.empty_shipped:
+            self.run.on_empty_stream(self)
+            if self.empty_shipped:
+                return  # eos follows the just-queued empty batch
+            self._eos_sent = True  # stream resolved without a marker
+            return
+        self._eos_sent = True
+        # Free control marker, piggybacked on the last data batch: arrives
+        # only after every in-flight batch of this edge has landed.
+        self.run.group.schedule_at(
+            max(self.run.sim.now, self._last_arrival), self.deliver_eos
+        )
+
+    @property
+    def unsent_batches(self) -> int:
+        return len(self._queue) + (1 if self._buffer else 0)
+
+
+class _QueryRun:
+    """Everything one pipelined query owns while in flight."""
+
+    def __init__(
+        self,
+        executor: DataflowExecutor,
+        plan: DistributedPlan,
+        query_id: int,
+        fetch_items: bool,
+        stop_after: int | None,
+        on_first_answer,
+        on_complete,
+        on_error,
+        delay_dissemination: bool,
+    ):
+        self.executor = executor
+        self.plan = plan
+        self.query_id = query_id
+        self.fetch_items = fetch_items
+        self.on_first_answer = on_first_answer
+        self.on_complete = on_complete
+        self.on_error = on_error
+        self.delay_dissemination = delay_dissemination
+        self.sim = executor.sim
+        self.group = executor.sim.group()
+        self.batch_size = (
+            plan.batch_size if plan.batch_size is not None else executor.config.batch_size
+        )
+        self.stats = QueryStats(
+            strategy=plan.strategy,
+            keywords=plan.keywords,
+            mode="pipelined",
+            pipeline=PipelineStats(batch_size=self.batch_size),
+        )
+        self.query = DataflowQuery(plan, self.stats, stop_after)
+        self.submitted_at = executor.sim.now
+        self.exchanges: list[_Exchange] = []
+        self.joins: list[_JoinStage] = []
+        self.batches_delivered = 0
+        self.answer_tuples = 0
+        self.max_fetch_hops = 0
+        self.outstanding_fetches = 0
+        self.answers_done = False
+        self._temp_keys: set[tuple[int, int]] = set()
+
+    @property
+    def pipeline(self) -> PipelineStats:
+        return self.stats.pipeline
+
+    # -- assembly --------------------------------------------------------
+
+    def start(self) -> None:
+        plan = self.plan
+        try:
+            ready = self._disseminate()
+        except DhtError as error:
+            self.fail(error)
+            return
+        if plan.strategy is JoinStrategy.INVERTED_CACHE:
+            self._assemble_inverted_cache(ready)
+        else:
+            self._assemble_join_chain(ready)
+
+    def _disseminate(self) -> list[float]:
+        """Charge plan dissemination like the atomic executor; returns the
+        virtual time the plan reaches each stage's site."""
+        plan = self.plan
+        ready: list[float] = []
+        elapsed = 0.0
+        chain_hops = 0
+        if plan.strategy is JoinStrategy.INVERTED_CACHE:
+            hops = self._route_hops(plan.query_node, plan.first_site)
+            self._charge(
+                "pier.query",
+                max(1, hops),
+                self.executor.cost_model.routed_bytes(
+                    self.executor.cost_model.query_plan_bytes, hops
+                ),
+            )
+            chain_hops = hops
+            elapsed = self._chain_delay(hops)
+            ready = [self.sim.now + elapsed] * len(plan.stages)
+        else:
+            previous = plan.query_node
+            for stage in plan.stages:
+                hops = self._route_hops(previous, stage.site)
+                self._charge(
+                    "pier.query",
+                    max(1, hops),
+                    self.executor.cost_model.routed_bytes(
+                        self.executor.cost_model.query_plan_bytes, hops
+                    ),
+                )
+                chain_hops += hops
+                elapsed += self._chain_delay(hops)
+                ready.append(self.sim.now + elapsed)
+                previous = stage.site
+        self.stats.chain_hops = chain_hops
+        return ready
+
+    def _chain_delay(self, hops: int) -> float:
+        if not self.delay_dissemination:
+            return 0.0
+        return sum(self.executor.hop_delay() for _ in range(hops))
+
+    def _assemble_join_chain(self, ready: list[float]) -> None:
+        plan = self.plan
+        cost = self.executor.cost_model
+        rehash_tuple = cost.tuple_bytes(cost.fileid_bytes + 12)
+        answer_tuple = cost.tuple_bytes(cost.fileid_bytes)
+        # Build back to front: each stage's output edge must exist first.
+        answer = _Exchange(
+            self,
+            plan.last_site,
+            plan.query_node,
+            category="pier.answer",
+            per_tuple_bytes=answer_tuple,
+            deliver=self._deliver_answer,
+            deliver_eos=self._answers_finished,
+            direct=True,
+            from_join=len(plan.stages) > 1,
+            eager=True,
+        )
+        downstream = answer
+        for index in range(len(plan.stages) - 1, 0, -1):
+            stage = plan.stages[index]
+            join = _JoinStage(self, stage.site, stage.keyword, index, downstream)
+            self.joins.insert(0, join)
+            downstream = _Exchange(
+                self,
+                plan.stages[index - 1].site,
+                stage.site,
+                category="pier.rehash",
+                per_tuple_bytes=rehash_tuple,
+                deliver=join.deliver,
+                deliver_eos=join.on_eos,
+                from_join=index - 1 > 0,
+                ready_time=ready[index],
+            )
+            self.exchanges.append(downstream)
+        self.exchanges.append(answer)
+        source_out = downstream
+        first = plan.stages[0]
+
+        def activate_source() -> None:
+            try:
+                rows = self._fetch_stage_local("Inverted", first.site, first.keyword)
+            except DhtError as error:
+                self.fail(error)
+                return
+            self.stats.per_stage_entries.append(len(rows))
+            source_out.offer(rows)
+            source_out.close()
+
+        self.group.schedule_at(ready[0], activate_source)
+
+    def _assemble_inverted_cache(self, ready: list[float]) -> None:
+        plan = self.plan
+        cost = self.executor.cost_model
+        answer = _Exchange(
+            self,
+            plan.first_site,
+            plan.query_node,
+            category="pier.answer",
+            per_tuple_bytes=cost.tuple_bytes(cost.fileid_bytes),
+            deliver=self._deliver_answer,
+            deliver_eos=self._answers_finished,
+            direct=True,
+            from_join=True,
+            eager=True,
+        )
+        self.exchanges.append(answer)
+
+        def activate_site() -> None:
+            try:
+                rows = self._fetch_stage_local(
+                    "InvertedCache", plan.first_site, plan.stages[0].keyword
+                )
+            except DhtError as error:
+                self.fail(error)
+                return
+            self.stats.per_stage_entries.append(len(rows))
+            operator = Scan(rows)
+            for keyword in plan.keywords[1:]:
+                operator = SubstringFilter(operator, column="fulltext", needle=keyword)
+            survivors: dict[object, Row] = {}
+            for row in operator:
+                survivors.setdefault(row["fileID"], {"fileID": row["fileID"]})
+            answer.offer(list(survivors.values()))
+            answer.close()
+
+        self.group.schedule_at(ready[0], activate_site)
+
+    def _fetch_stage_local(self, table: str, site: int, keyword: str) -> list[Row]:
+        return self.catalog_table(table).fetch_local(site, keyword)
+
+    def catalog_table(self, name: str):
+        return self.executor.catalog.table(name)
+
+    # -- answers ---------------------------------------------------------
+
+    def _deliver_answer(self, batch: list[Row]) -> None:
+        if self.query.done:
+            return
+        if not self.fetch_items:
+            self._results_ready(batch, len(batch))
+            return
+        try:
+            items, fetch_hops = self._fetch_items(batch)
+        except DhtError as error:
+            self.fail(error)
+            return
+        self.outstanding_fetches += 1
+        delay = sum(self.executor.hop_delay() for _ in range(fetch_hops + 1))
+        self.group.schedule(
+            delay,
+            lambda items=items, count=len(batch): self._finish_fetch(items, count),
+        )
+
+    def _finish_fetch(self, items: list[Row], answer_count: int) -> None:
+        self.outstanding_fetches -= 1
+        self._results_ready(items, answer_count)
+
+    def _fetch_items(self, fileid_rows: list[Row]) -> tuple[list[Row], int]:
+        """Charge and perform Item fetches exactly like the atomic path."""
+        results, batch_max_hops = fetch_items_charged(
+            self.executor.network,
+            self.executor.catalog,
+            self.executor.cost_model,
+            fileid_rows,
+            self.plan.query_node,
+            self._charge,
+        )
+        self.max_fetch_hops = max(self.max_fetch_hops, batch_max_hops)
+        return results, batch_max_hops
+
+    def _results_ready(self, rows: list[Row], answer_count: int) -> None:
+        if self.query.done:
+            return
+        self.query.rows.extend(rows)
+        self.answer_tuples += answer_count
+        if self.pipeline.first_answer_time is None and answer_count > 0:
+            self.pipeline.first_answer_time = self.sim.now - self.submitted_at
+            if self.on_first_answer is not None:
+                self.on_first_answer(self.query)
+        if (
+            self.query.stop_after is not None
+            and self.answer_tuples >= self.query.stop_after
+        ):
+            self._terminate_early()
+            return
+        self._maybe_complete()
+
+    def _answers_finished(self) -> None:
+        self.answers_done = True
+        self._maybe_complete()
+
+    def _maybe_complete(self) -> None:
+        if self.answers_done and self.outstanding_fetches == 0:
+            self.complete()
+
+    # -- empty streams (the atomic executor's early break) ---------------
+
+    def on_empty_stream(self, exchange: _Exchange) -> None:
+        """An edge closed without ever sending a tuple.
+
+        Mirrors the atomic control flow exactly: an empty *scan* still
+        rehashes (one empty message) to the next site, which runs its
+        stage and comes up empty; an empty *join* output breaks the chain
+        — downstream stages never activate, and the query node receives
+        one empty answer message.
+        """
+        if exchange.category == "pier.answer" or exchange.from_join:
+            # An empty scan on a single-stage plan answers directly; an
+            # empty join output breaks the chain like the atomic executor.
+            self._finalize_empty()
+            return
+        # Empty scan output on a multi-stage plan: ship one empty batch so
+        # the next stage still runs (and is charged), as the atomic loop does.
+        exchange.empty_shipped = True
+        exchange._queue.append([])
+        exchange._pump()
+
+    def _finalize_empty(self) -> None:
+        if self.query.done:
+            return
+        cost = self.executor.cost_model
+        self._charge("pier.answer", 1, cost.message_bytes(0))
+        self.group.schedule(self.executor.hop_delay(), self._complete_empty)
+
+    def _complete_empty(self) -> None:
+        self.answers_done = True
+        self._maybe_complete()
+
+    # -- termination -----------------------------------------------------
+
+    def _terminate_early(self) -> None:
+        in_flight = sum(e.batches_sent for e in self.exchanges) - self.batches_delivered
+        queued = sum(e.unsent_batches for e in self.exchanges)
+        self.pipeline.batches_cancelled = max(0, in_flight) + queued
+        self.pipeline.early_terminated = True
+        self.group.cancel()
+        self.complete()
+
+    def complete(self) -> None:
+        if self.query.done:
+            return
+        self.query.done = True
+        self.pipeline.completion_time = self.sim.now - self.submitted_at
+        self.stats.results = len(self.query.rows)
+        self.stats.critical_path_hops = self.stats.chain_hops + 1
+        if self.fetch_items and self.answer_tuples > 0:
+            self.stats.critical_path_hops += self.max_fetch_hops + 1
+        for join in self.joins:
+            self.pipeline.spilled_tuples += join.shj.spilled_rows
+            self.pipeline.spill_reads += join.shj.spill_reads
+        self._release_temp_keys()
+        if self.on_complete is not None:
+            self.on_complete(self.query)
+
+    def fail(self, error: DhtError) -> None:
+        if self.query.done:
+            return
+        self.query.done = True
+        self.query.error = error
+        self.pipeline.completion_time = self.sim.now - self.submitted_at
+        self.group.cancel()
+        self._release_temp_keys()
+        if self.on_error is not None:
+            self.on_error(self.query, error)
+
+    # -- plumbing --------------------------------------------------------
+
+    def register_temp_key(self, site: int, key: int) -> None:
+        self._temp_keys.add((site, key))
+
+    def _release_temp_keys(self) -> None:
+        for site, key in self._temp_keys:
+            node = self.executor.network.nodes.get(site)
+            if node is not None:
+                node.store.remove_key(key)
+        self._temp_keys.clear()
+
+    def _route_hops(self, origin: int, key_owner: int) -> int:
+        return route_hops(self.executor.network, origin, key_owner)
+
+    def _charge(self, category: str, messages: int, byte_count: int) -> None:
+        self.stats.messages += messages
+        self.stats.bytes += byte_count
+        self.executor.network.meter.charge(category, messages, byte_count)
+
+
+class _JoinStage:
+    """One join site: incremental SHJ of arriving batches vs local postings."""
+
+    def __init__(
+        self,
+        run: _QueryRun,
+        site: int,
+        keyword: str,
+        index: int,
+        out: _Exchange,
+    ):
+        self.run = run
+        self.site = site
+        self.keyword = keyword
+        self.index = index
+        self.out = out
+        self.activated = False
+        self.emitted: set[object] = set()
+        budget = run.executor.config.memory_budget
+        sink = _DhtSpillSink(run, site, index, "fileID") if budget else None
+        self.shj = SymmetricHashJoin(
+            column="fileID", memory_budget=budget, spill_sink=sink
+        )
+
+    def activate(self) -> None:
+        self.activated = True
+        rows = self.run._fetch_stage_local("Inverted", self.site, self.keyword)
+        self.run.stats.per_stage_entries.append(len(rows))
+        for row in rows:
+            self.shj.insert_right(row)
+
+    def deliver(self, batch: list[Row]) -> None:
+        if self.run.query.done:
+            return
+        if not self.activated:
+            try:
+                self.activate()
+            except DhtError as error:
+                self.run.fail(error)
+                return
+        survivors: list[Row] = []
+        for row in batch:
+            for match in self.shj.insert_left(row):
+                file_id = match["fileID"]
+                if file_id not in self.emitted:
+                    self.emitted.add(file_id)
+                    survivors.append({"fileID": file_id})
+        if survivors:
+            self.out.offer(survivors)
+
+    def on_eos(self) -> None:
+        if self.run.query.done:
+            return
+        self.out.close()

@@ -27,6 +27,12 @@ from __future__ import annotations
 from repro.common.units import CostModel
 from repro.dht.network import DhtNetwork
 from repro.pier.catalog import Catalog
+from repro.pier.dataflow import (
+    DataflowConfig,
+    DataflowExecutor,
+    fetch_items_charged,
+    route_hops,
+)
 from repro.pier.operators import Scan, SubstringFilter, SymmetricHashJoin
 from repro.pier.query import DistributedPlan, JoinStrategy, QueryStats
 from repro.pier.schema import Row
@@ -35,12 +41,24 @@ from repro.pier.schema import Row
 class DistributedExecutor:
     """Executes distributed keyword plans and accounts for every message.
 
+    Two runtimes sit behind :meth:`execute`:
+
+    * ``mode="atomic"`` (the compatibility default here): each join stage
+      materialises fully before the next starts, with lump-sum accounting.
+    * ``mode="pipelined"``: the plan runs as a streaming exchange dataflow
+      (:mod:`repro.pier.dataflow`) — tuple batches ship site-to-site as
+      events in virtual time, answers stream back while upstream batches
+      are in flight, and the same result set comes back with batch-level
+      accounting. The event-driven hybrid engine uses this runtime by
+      default.
+
     With ``store_temp_tuples`` set, the intermediate join state created at
     each site is also written into that site's DHT store under a per-query
     temporary key — PIER "stores all temporary tuples generated during
     query processing in the DHT", which lets a restarted or concurrent
     operator re-read them. ``release_temp_tuples`` drops them when the
-    query completes.
+    query completes; a plan that *fails* mid-chain releases the tuples it
+    created on the way out, so aborted queries never leak temp state.
     """
 
     def __init__(
@@ -49,13 +67,28 @@ class DistributedExecutor:
         catalog: Catalog,
         cost_model: CostModel | None = None,
         store_temp_tuples: bool = False,
+        mode: str = "atomic",
+        dataflow_config: DataflowConfig | None = None,
+        rng=None,
     ):
+        if mode not in ("atomic", "pipelined"):
+            raise ValueError(f"unknown execution mode {mode!r}")
         self.network = network
         self.catalog = catalog
         self.cost_model = cost_model or network.cost_model
         self.store_temp_tuples = store_temp_tuples
+        self.mode = mode
         self._query_counter = 0
         self._temp_keys: list[tuple[int, int]] = []  # (node, ring key)
+        self._dataflow: DataflowExecutor | None = None
+        if mode == "pipelined":
+            self._dataflow = DataflowExecutor(
+                network,
+                catalog,
+                cost_model=self.cost_model,
+                config=dataflow_config,
+                rng=rng,
+            )
 
     # ------------------------------------------------------------------
     # Entry point
@@ -67,10 +100,19 @@ class DistributedExecutor:
         Result rows are Item tuples when ``fetch_items`` is set, otherwise
         the surviving posting entries (fileID rows).
         """
+        if self._dataflow is not None:
+            return self._dataflow.execute(plan, fetch_items=fetch_items)
         self._query_counter += 1
-        if plan.strategy is JoinStrategy.INVERTED_CACHE:
-            return self._execute_inverted_cache(plan, fetch_items)
-        return self._execute_distributed_join(plan, fetch_items)
+        first_temp_key = len(self._temp_keys)
+        try:
+            if plan.strategy is JoinStrategy.INVERTED_CACHE:
+                return self._execute_inverted_cache(plan, fetch_items)
+            return self._execute_distributed_join(plan, fetch_items)
+        except BaseException:
+            # A mid-chain failure (e.g. a DhtError from routing) must not
+            # orphan the temp tuples this query already stashed.
+            self._release_temp_range(first_temp_key)
+            raise
 
     # ------------------------------------------------------------------
     # Temporary tuple management
@@ -80,9 +122,9 @@ class DistributedExecutor:
         """Store a stage's intermediate tuples in the site's DHT store."""
         if not self.store_temp_tuples or not rows:
             return
-        from repro.common.ids import hash_key
+        from repro.pier.dataflow import temp_ring_key
 
-        key = hash_key(f"__temp__|q{self._query_counter}|s{stage_index}")
+        key = temp_ring_key(self._query_counter, stage_index)
         node = self.network.nodes[site]
         for position, row in enumerate(rows):
             node.store.put(key, dict(row), identity=(position, row.get("fileID")))
@@ -90,20 +132,24 @@ class DistributedExecutor:
 
     def temp_tuples_at(self, site: int, stage_index: int, query_id: int | None = None) -> list[Row]:
         """Read back a stage's temporary tuples (for tests/recovery)."""
-        from repro.common.ids import hash_key
+        from repro.pier.dataflow import temp_ring_key
 
         query = query_id if query_id is not None else self._query_counter
-        key = hash_key(f"__temp__|q{query}|s{stage_index}")
+        key = temp_ring_key(query, stage_index)
         return self.network.get_local(site, key)
 
     def release_temp_tuples(self) -> int:
         """Drop every temporary tuple this executor created; returns count."""
+        return self._release_temp_range(0)
+
+    def _release_temp_range(self, start: int) -> int:
+        """Drop temp tuples stashed at or after ``start``; returns count."""
         removed = 0
-        for site, key in self._temp_keys:
+        for site, key in self._temp_keys[start:]:
             node = self.network.nodes.get(site)
             if node is not None:
                 removed += node.store.remove_key(key)
-        self._temp_keys.clear()
+        del self._temp_keys[start:]
         return removed
 
     # ------------------------------------------------------------------
@@ -239,32 +285,28 @@ class DistributedExecutor:
         return chain_hops
 
     def _fetch_items(self, fileid_rows: list[Row], query_node: int, stats: QueryStats) -> list[Row]:
-        """Fetch Item tuples for surviving fileIDs (parallel gets)."""
-        items = self.catalog.table("Item")
-        results: list[Row] = []
-        max_fetch_hops = 0
-        for row in fileid_rows:
-            file_id = row["fileID"]
-            host = items.host_of(file_id)
-            hops = self._route_hops(query_node, host)
-            max_fetch_hops = max(max_fetch_hops, hops)
-            request_bytes = self.cost_model.routed_bytes(self.cost_model.fileid_bytes, hops)
-            fetched = items.fetch_local(host, file_id)
-            response_payload = sum(
-                self.cost_model.item_tuple_bytes(item["filename"]) for item in fetched
-            )
-            response_bytes = self.cost_model.message_bytes(response_payload)
-            self._charge(stats, "pier.item_fetch", max(1, hops) + 1, request_bytes + response_bytes)
-            results.extend(fetched)
+        """Fetch Item tuples for surviving fileIDs (parallel gets).
+
+        Accounting lives in :func:`repro.pier.dataflow.fetch_items_charged`,
+        shared with the streaming runtime so both charge identically.
+        """
+        results, max_fetch_hops = fetch_items_charged(
+            self.network,
+            self.catalog,
+            self.cost_model,
+            fileid_rows,
+            query_node,
+            lambda category, messages, byte_count: self._charge(
+                stats, category, messages, byte_count
+            ),
+        )
         # Item fetches run in parallel; the slowest one bounds latency.
         stats.critical_path_hops += max_fetch_hops + 1 if fileid_rows else 0
         return results
 
     def _route_hops(self, origin: int, key_owner: int) -> int:
         """Overlay hops to route from ``origin`` to ``key_owner``'s id."""
-        if origin == key_owner:
-            return 0
-        return self.network.lookup(key_owner, origin=origin).hops
+        return route_hops(self.network, origin, key_owner)
 
     def _charge(self, stats: QueryStats, category: str, messages: int, byte_count: int) -> None:
         stats.messages += messages

@@ -113,29 +113,140 @@ class HashJoin(Operator):
                 yield merged
 
 
+class SpillSink:
+    """Where a memory-bounded join parks build state it cannot hold.
+
+    The reference implementation keeps spilled rows in plain lists; the
+    dataflow runtime subclasses it with a DHT-backed sink so spilled state
+    lands in the site's temp-tuple store (and survives exactly as long as
+    the query does). Reads are counted so experiments can report the
+    re-read cost of running under a memory budget.
+    """
+
+    def __init__(self, column: str):
+        self.column = column
+        self._rows: dict[str, list[Row]] = {"left": [], "right": []}
+        self.spilled_rows = 0
+        self.reads = 0
+
+    def write(self, side: str, rows: list[Row]) -> None:
+        """Persist ``rows`` of ``side``'s hash table."""
+        self._rows[side].extend(rows)
+        self.spilled_rows += len(rows)
+
+    def read(self, side: str, key: Any) -> list[Row]:
+        """Re-read ``side``'s spilled rows whose join column equals ``key``."""
+        self.reads += 1
+        return [row for row in self._rows[side] if row[self.column] == key]
+
+    def has_spilled(self, side: str) -> bool:
+        return bool(self._rows[side])
+
+
 class SymmetricHashJoin(Operator):
     """Pipelined symmetric hash join (SHJ) on one column.
 
     Both inputs are consumed as streams; each arriving row is inserted into
     its side's hash table and probed against the other side's table, so
     results stream out as soon as both matching rows have arrived. This is
-    the join PIER executes between posting lists (Section 3.2). For a
-    deterministic simulation we interleave the two inputs round-robin,
-    which exercises the symmetric structure while producing the same output
-    set as any arrival order.
+    the join PIER executes between posting lists (Section 3.2).
+
+    The join is **incremental**: :meth:`insert_left` / :meth:`insert_right`
+    consume one row at a time (the dataflow runtime feeds them one tuple
+    batch at a time) and return the matches that row completes, while the
+    hash tables persist across calls. The iterator interface is a thin
+    round-robin driver over the same core — for a deterministic simulation
+    it interleaves the two inputs, which exercises the symmetric structure
+    while producing the same output set as any arrival order.
+
+    With ``memory_budget`` set, the join holds at most that many rows in
+    its in-memory tables; overflow is flushed to ``spill_sink`` (a
+    :class:`SpillSink`, by default an in-memory one) and probes transparently
+    re-read the spilled partitions — the classic hybrid-hash trade of
+    memory for re-reads, without changing the output set.
     """
 
-    def __init__(self, left: Operator, right: Operator, column: str):
+    def __init__(
+        self,
+        left: Operator | None = None,
+        right: Operator | None = None,
+        column: str = "fileID",
+        memory_budget: int | None = None,
+        spill_sink: SpillSink | None = None,
+    ):
+        if memory_budget is not None and memory_budget < 1:
+            raise ValueError(f"memory_budget must be >= 1, got {memory_budget}")
         self.left = left
         self.right = right
         self.column = column
-        # Exposed for tests: peak hash-table sizes reached during the join.
+        self.memory_budget = memory_budget
+        self.spill_sink = spill_sink or (SpillSink(column) if memory_budget else None)
+        self._tables: dict[str, dict[Any, list[Row]]] = {"left": {}, "right": {}}
+        self._in_memory = {"left": 0, "right": 0}
+        # Exposed for tests: peak *in-memory* table sizes during the join.
         self.peak_left_table = 0
         self.peak_right_table = 0
 
+    # -- incremental core ------------------------------------------------
+
+    def insert_left(self, row: Row) -> list[Row]:
+        """Consume one left row; returns the matches it completes."""
+        return self._insert("left", "right", row)
+
+    def insert_right(self, row: Row) -> list[Row]:
+        """Consume one right row; returns the matches it completes."""
+        return self._insert("right", "left", row)
+
+    def _insert(self, side: str, other: str, row: Row) -> list[Row]:
+        key = row[self.column]
+        matches = list(self._tables[other].get(key, ()))
+        if self.spill_sink is not None and self.spill_sink.has_spilled(other):
+            matches.extend(self.spill_sink.read(other, key))
+        merged: list[Row] = []
+        for match in matches:
+            # The right side wins column collisions, whichever arrives last.
+            if side == "left":
+                output = dict(row)
+                output.update(match)
+            else:
+                output = dict(match)
+                output.update(row)
+            merged.append(output)
+        self._tables[side].setdefault(key, []).append(row)
+        self._in_memory[side] += 1
+        self.peak_left_table = max(self.peak_left_table, self._in_memory["left"])
+        self.peak_right_table = max(self.peak_right_table, self._in_memory["right"])
+        self._maybe_spill()
+        return merged
+
+    def _maybe_spill(self) -> None:
+        if self.memory_budget is None:
+            return
+        if self._in_memory["left"] + self._in_memory["right"] <= self.memory_budget:
+            return
+        for side in ("left", "right"):
+            table = self._tables[side]
+            if not table:
+                continue
+            self.spill_sink.write(
+                side, [row for rows in table.values() for row in rows]
+            )
+            table.clear()
+            self._in_memory[side] = 0
+
+    @property
+    def spilled_rows(self) -> int:
+        return self.spill_sink.spilled_rows if self.spill_sink else 0
+
+    @property
+    def spill_reads(self) -> int:
+        return self.spill_sink.reads if self.spill_sink else 0
+
+    # -- iterator driver -------------------------------------------------
+
     def __iter__(self) -> Iterator[Row]:
-        left_table: dict[Any, list[Row]] = {}
-        right_table: dict[Any, list[Row]] = {}
+        if self.left is None or self.right is None:
+            raise ValueError("iterating a SymmetricHashJoin needs both inputs")
         left_iter = iter(self.left)
         right_iter = iter(self.right)
         left_done = right_done = False
@@ -145,27 +256,13 @@ class SymmetricHashJoin(Operator):
                 if row is None:
                     left_done = True
                 else:
-                    left_table.setdefault(row[self.column], []).append(row)
-                    self.peak_left_table = max(
-                        self.peak_left_table, sum(len(v) for v in left_table.values())
-                    )
-                    for match in right_table.get(row[self.column], ()):
-                        merged = dict(row)
-                        merged.update(match)
-                        yield merged
+                    yield from self.insert_left(row)
             if not right_done:
                 row = next(right_iter, None)
                 if row is None:
                     right_done = True
                 else:
-                    right_table.setdefault(row[self.column], []).append(row)
-                    self.peak_right_table = max(
-                        self.peak_right_table, sum(len(v) for v in right_table.values())
-                    )
-                    for match in left_table.get(row[self.column], ()):
-                        merged = dict(match)
-                        merged.update(row)
-                        yield merged
+                    yield from self.insert_right(row)
 
 
 class Distinct(Operator):

@@ -5,13 +5,27 @@ distributed-join strategy the planner orders stages so that smaller
 posting lists are computed first — the optimization the paper applied when
 replaying 70,000 queries in Section 5 — which minimises the number of
 posting-list entries shipped between sites.
+
+The planner also feeds the streaming dataflow runtime: from the same
+posting-size statistics it picks the exchange **batch size** (small
+batches for rare terms, so the first answer leaves quickly; larger
+batches for popular terms, amortising per-message headers) and — when
+asked to choose — the **strategy** (a query whose rarest posting list is
+still large ships many entries under the distributed join, so the
+single-site InvertedCache plan wins when that table is available).
 """
 
 from __future__ import annotations
 
 from repro.common.errors import PlanError
-from repro.pier.catalog import Catalog, table_key
+from repro.pier.catalog import Catalog
 from repro.pier.query import DistributedPlan, JoinStrategy, PlanStage
+
+#: batch-size bounds the planner chooses within (tuples per exchange batch)
+MIN_BATCH_SIZE = 4
+MAX_BATCH_SIZE = 256
+#: smallest posting list above which InvertedCache beats shipping entries
+INVERTED_CACHE_THRESHOLD = 192
 
 
 class KeywordPlanner:
@@ -24,22 +38,50 @@ class KeywordPlanner:
     def posting_size(self, keyword: str) -> int:
         """Size of ``keyword``'s posting list at its hosting node.
 
-        PIER keeps per-key statistics at the hosting node; the planner can
-        learn them with one probe per keyword, which we treat as part of
-        query dissemination rather than charging separately. The probe
-        reads the ring owner directly (not the replica-aware serving node)
-        so statistics gathering neither counts as a data read nor advances
-        the replica rotation.
+        PIER keeps per-key statistics at the hosting node; the planner
+        learns them through :meth:`Catalog.posting_size`, which memoizes
+        the probe per epoch (invalidated by any publish or churn event),
+        so replanning a replayed workload stops re-probing the ring.
         """
-        handle = self.catalog.table(self.posting_table)
-        host = handle.network.owner_of(table_key(self.posting_table, keyword))
-        return len(handle.fetch_local(host, keyword))
+        return self.catalog.posting_size(self.posting_table, keyword)
+
+    def choose_batch_size(self, sizes: dict[str, int]) -> int:
+        """Exchange batch size from posting-size statistics.
+
+        The tuples actually shipped are bounded by the *smallest* posting
+        list (the first join stage), so the batch size scales with it:
+        roughly its square root, clamped to [MIN_BATCH_SIZE,
+        MAX_BATCH_SIZE] and rounded up to a power of two. Rare terms get
+        small batches (first answer leaves after a handful of tuples);
+        popular terms get large ones (fewer per-message headers).
+        """
+        smallest = min(sizes.values(), default=0)
+        if smallest <= 0:
+            return MIN_BATCH_SIZE
+        root = max(1, int(smallest**0.5))
+        power = 1 << (root - 1).bit_length()
+        return max(MIN_BATCH_SIZE, min(MAX_BATCH_SIZE, power))
+
+    def choose_strategy(self, sizes: dict[str, int]) -> JoinStrategy:
+        """Pick the cheaper Section 3.2 strategy from posting-size stats.
+
+        A single-term query ships nothing, so the distributed join always
+        wins. For multi-term queries the join ships at least the smallest
+        posting list between sites; once that exceeds
+        ``INVERTED_CACHE_THRESHOLD`` entries, resolving the query at the
+        single InvertedCache site is cheaper — when that table exists.
+        """
+        if "InvertedCache" not in self.catalog or len(sizes) < 2:
+            return JoinStrategy.DISTRIBUTED_JOIN
+        if min(sizes.values(), default=0) >= INVERTED_CACHE_THRESHOLD:
+            return JoinStrategy.INVERTED_CACHE
+        return JoinStrategy.DISTRIBUTED_JOIN
 
     def plan(
         self,
         keywords: list[str],
         query_node: int,
-        strategy: JoinStrategy = JoinStrategy.DISTRIBUTED_JOIN,
+        strategy: JoinStrategy | None = JoinStrategy.DISTRIBUTED_JOIN,
         order_by_size: bool = True,
     ) -> DistributedPlan:
         """Build the plan for a conjunctive query over ``keywords``.
@@ -48,12 +90,20 @@ class KeywordPlanner:
         list first. For the InvertedCache strategy only one stage executes
         remotely (the rest become local substring filters), and picking the
         rarest term minimises the rows the filters must consider.
+
+        ``strategy=None`` asks the planner to choose between the two
+        Section 3.2 strategies from its posting-size statistics
+        (:meth:`choose_strategy`).
         """
         if not keywords:
             raise PlanError("keyword query needs at least one term")
         unique = list(dict.fromkeys(keywords))  # dedupe, keep order
-        if order_by_size:
+        sizes: dict[str, int] | None = None
+        if order_by_size or strategy is None:
             sizes = {keyword: self.posting_size(keyword) for keyword in unique}
+        if strategy is None:
+            strategy = self.choose_strategy(sizes)
+        if order_by_size:
             unique.sort(key=lambda keyword: (sizes[keyword], keyword))
         table = (
             "InvertedCache" if strategy is JoinStrategy.INVERTED_CACHE else self.posting_table
@@ -69,4 +119,6 @@ class KeywordPlanner:
             stages=stages,
             strategy=strategy,
             query_node=query_node,
+            batch_size=self.choose_batch_size(sizes) if sizes else None,
+            posting_sizes=sizes,
         )

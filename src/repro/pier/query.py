@@ -37,6 +37,11 @@ class DistributedPlan:
     stages: list[PlanStage]
     strategy: JoinStrategy
     query_node: int
+    #: exchange batch size chosen by the planner from posting-size stats
+    #: (None = the executing runtime's default)
+    batch_size: int | None = None
+    #: per-keyword posting-list sizes the planner observed, when it probed
+    posting_sizes: dict[str, int] | None = None
 
     def __post_init__(self) -> None:
         if not self.stages:
@@ -52,11 +57,42 @@ class DistributedPlan:
 
 
 @dataclass
+class PipelineStats:
+    """What the streaming dataflow runtime adds to a query's statistics.
+
+    Only present on pipelined executions (``QueryStats.pipeline``); the
+    atomic path has no batches, so it carries ``None``. Times are virtual
+    seconds from query submission on the dataflow's simulator clock.
+    """
+
+    #: tuples per exchange batch (None = stage-granularity, one batch/edge)
+    batch_size: int | None = None
+    #: batches actually sent over exchange edges (rehash + answer)
+    batches_shipped: int = 0
+    #: batches cancelled by early termination before send or processing
+    batches_cancelled: int = 0
+    #: join build rows spilled to the DHT temp-tuple store
+    spilled_tuples: int = 0
+    #: probe-time re-reads of spilled partitions
+    spill_reads: int = 0
+    #: virtual time the first answer tuple reached the query node
+    first_answer_time: float | None = None
+    #: virtual time the pipeline fully drained (or was cancelled)
+    completion_time: float | None = None
+    #: stop_after fired: upstream in-flight batches were cancelled
+    early_terminated: bool = False
+
+
+@dataclass
 class QueryStats:
     """Everything measured while executing one query."""
 
     strategy: JoinStrategy
     keywords: tuple[str, ...] = ()
+    #: which runtime executed the plan: "atomic" or "pipelined"
+    mode: str = "atomic"
+    #: batch/pipeline metadata (pipelined executions only)
+    pipeline: "PipelineStats | None" = None
     results: int = 0
     #: posting-list entries shipped between sites (Section 5's key metric)
     posting_entries_shipped: int = 0

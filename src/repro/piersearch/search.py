@@ -43,12 +43,14 @@ class SearchEngine:
         network: DhtNetwork,
         catalog: Catalog,
         inverted_cache: bool = False,
+        mode: str = "atomic",
     ):
         self.network = network
         self.catalog = catalog
         self.inverted_cache = inverted_cache
+        self.mode = mode
         self.planner = KeywordPlanner(catalog)
-        self.executor = DistributedExecutor(network, catalog)
+        self.executor = DistributedExecutor(network, catalog, mode=mode)
 
     def prepare(
         self,
@@ -86,8 +88,18 @@ class SearchEngine:
     def execute_plan(self, plan: DistributedPlan) -> SearchResult:
         """Execute an already-prepared plan. See :meth:`search`."""
         items, stats = self.executor.execute(plan)
-        # Post-filter: DHT keyword match is exact-token; ensure conjunctive
-        # semantics hold on the returned filenames (mirrors client behavior).
+        return self.finalize(plan, items, stats)
+
+    @staticmethod
+    def finalize(plan: DistributedPlan, items: list[Row], stats: QueryStats) -> SearchResult:
+        """Post-filter executed Item rows into a :class:`SearchResult`.
+
+        DHT keyword match is exact-token; this re-checks conjunctive
+        semantics on the returned filenames (mirrors client behavior).
+        Shared by the synchronous path and the event-driven dataflow,
+        which receives its Item rows from answer batches instead of a
+        blocking execute call.
+        """
         keywords = list(plan.keywords)
         matching = [item for item in items if _matches_all(item["filename"], keywords)]
         stats.results = len(matching)

@@ -7,13 +7,14 @@ round-trip times across two continents, and :mod:`repro.sim.stats` collects
 counters and histograms that the experiment harness reports.
 """
 
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Event, EventGroup, Simulator
 from repro.sim.latency import LatencyModel, TwoContinentLatencyModel, UniformLatencyModel
 from repro.sim.network import Message, SimNetwork
 from repro.sim.stats import Counter, Histogram, StatsRegistry
 
 __all__ = [
     "Event",
+    "EventGroup",
     "Simulator",
     "LatencyModel",
     "TwoContinentLatencyModel",

@@ -96,6 +96,71 @@ class Simulator:
         """Total events processed over the simulator's lifetime."""
         return self._processed
 
+    def group(self) -> "EventGroup":
+        """A new cancellable group of events on this simulator."""
+        return EventGroup(self)
+
+
+class EventGroup:
+    """A cancellable set of scheduled events.
+
+    Groups model one logical activity's in-flight work — e.g. every batch
+    of a pipelined query — so early termination can cancel *all* of it in
+    one call. Events drop out of the group as they fire; :meth:`cancel`
+    marks the remainder so the engine skips them, and a cancelled group
+    silently refuses new work (a late callback scheduling a follow-up
+    after cancellation is a no-op, not a resurrection).
+
+    >>> sim = Simulator()
+    >>> group = sim.group()
+    >>> fired = []
+    >>> _ = group.schedule(1.0, lambda: fired.append("a"))
+    >>> _ = group.schedule(2.0, lambda: fired.append("b"))
+    >>> _ = sim.run(until=1.5)
+    >>> group.cancel()
+    1
+    >>> _ = sim.run()
+    >>> fired
+    ['a']
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.cancelled = False
+        self._events: dict[int, Event] = {}  # seq -> event, still pending
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event | None:
+        """Schedule ``callback`` in this group; None if already cancelled."""
+        if self.cancelled:
+            return None
+        event: Event | None = None
+
+        def fire() -> None:
+            self._events.pop(event.seq, None)
+            callback()
+
+        event = self.sim.schedule(delay, fire)
+        self._events[event.seq] = event
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event | None:
+        """Schedule at an absolute virtual time; None if already cancelled."""
+        return self.schedule(time - self.sim.now, callback)
+
+    def cancel(self) -> int:
+        """Cancel every still-pending event; returns how many were live."""
+        self.cancelled = True
+        live = len(self._events)
+        for event in self._events.values():
+            event.cancel()
+        self._events.clear()
+        return live
+
+    @property
+    def pending(self) -> int:
+        """Events scheduled through this group that have not yet fired."""
+        return len(self._events)
+
 
 class Process:
     """Convenience base for simulation actors that hold a Simulator handle."""

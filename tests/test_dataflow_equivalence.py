@@ -1,0 +1,123 @@
+"""Property suite: the pipelined dataflow is observably the atomic executor.
+
+For seeded random catalogs and random 1-4 keyword conjunctions, under both
+Section 3.2 strategies, the streaming runtime must return the *identical
+result set* and ship the *identical posting entries*. With stage-granular
+batches (``batch_size=None``) its byte and message totals are exactly the
+atomic executor's; with finite batches the payload is unchanged and the
+only delta is the per-batch routing headers, which we reconcile to the
+byte (no tolerance) from the shipped-batch counts.
+"""
+
+import random
+
+import pytest
+
+from repro.dht.network import DhtNetwork
+from repro.pier.catalog import Catalog
+from repro.pier.dataflow import DataflowConfig, DataflowExecutor
+from repro.pier.executor import DistributedExecutor
+from repro.pier.planner import KeywordPlanner
+from repro.pier.query import JoinStrategy
+from repro.piersearch.publisher import Publisher
+
+VOCABULARY = [
+    "nebula", "quasar", "aurora", "meteor", "eclipse",
+    "klorena", "velid", "montia", "darel", "bonzo",
+]
+
+NUM_SEEDS = 20
+
+
+def build_world(seed: int):
+    rng = random.Random(seed)
+    network = DhtNetwork(rng=seed)
+    network.populate(24)
+    catalog = Catalog(network)
+    publisher = Publisher(network, catalog)
+    cache_publisher = Publisher(network, catalog, inverted_cache=True)
+    for index in range(rng.randint(12, 30)):
+        words = rng.sample(VOCABULARY, rng.randint(1, 3))
+        name = " ".join(words) + f" track{index:03d}.mp3"
+        address = f"10.{seed % 200}.0.{index}"
+        publisher.publish_file(name, 1000 + index, address, 6346)
+        cache_publisher.publish_file(name, 1000 + index, address, 6346)
+    return rng, network, catalog
+
+
+def result_key(rows):
+    """Order-independent identity of a result set (replicas included)."""
+    return sorted(
+        (row.get("fileID"), row.get("ipAddress"), row.get("filename"))
+        for row in rows
+    )
+
+
+def queries_for(rng: random.Random, count: int = 3):
+    for _ in range(count):
+        yield rng.sample(VOCABULARY, rng.randint(1, 4))
+
+
+@pytest.mark.parametrize("seed", range(NUM_SEEDS))
+def test_pipelined_equals_atomic(seed):
+    rng, network, catalog = build_world(seed)
+    atomic = DistributedExecutor(network, catalog)
+    stage_granular = DataflowExecutor(
+        network, catalog, config=DataflowConfig(batch_size=None), rng=seed
+    )
+    batched = DataflowExecutor(
+        network, catalog, config=DataflowConfig(batch_size=2), rng=seed
+    )
+    header = network.cost_model.header_bytes
+    for terms in queries_for(rng):
+        for strategy in (JoinStrategy.DISTRIBUTED_JOIN, JoinStrategy.INVERTED_CACHE):
+            table = (
+                "InvertedCache"
+                if strategy is JoinStrategy.INVERTED_CACHE
+                else "Inverted"
+            )
+            planner = KeywordPlanner(catalog, posting_table=table)
+            plan = planner.plan(terms, network.random_node_id(), strategy=strategy)
+            plan.batch_size = None  # executor config decides per runtime
+            rows_atomic, stats_atomic = atomic.execute(plan)
+            rows_stage, stats_stage = stage_granular.execute(plan)
+            rows_batched, stats_batched = batched.execute(plan)
+
+            # Identical result sets, identical entries shipped — always.
+            assert result_key(rows_stage) == result_key(rows_atomic)
+            assert result_key(rows_batched) == result_key(rows_atomic)
+            assert (
+                stats_stage.posting_entries_shipped
+                == stats_batched.posting_entries_shipped
+                == stats_atomic.posting_entries_shipped
+            )
+            assert stats_stage.per_stage_entries == stats_atomic.per_stage_entries
+
+            # Stage-granular batches: byte-identical totals.
+            assert stats_stage.bytes == stats_atomic.bytes
+            assert stats_stage.messages == stats_atomic.messages
+            assert stats_stage.critical_path_hops == stats_atomic.critical_path_hops
+
+            # Finite batches: the only byte delta is headers on the extra
+            # batches; reconcile it exactly, not within a tolerance.
+            extra = stats_batched.bytes - stats_atomic.bytes
+            assert extra >= 0
+            assert extra % header == 0
+
+
+def test_equivalence_holds_for_results_across_batch_sizes():
+    """One deeper check: every batch size returns the same answer set."""
+    rng, network, catalog = build_world(4242)
+    atomic = DistributedExecutor(network, catalog)
+    planner = KeywordPlanner(catalog)
+    plan = planner.plan(["nebula", "quasar"], network.random_node_id())
+    plan.batch_size = None
+    rows_atomic, _ = atomic.execute(plan)
+    for batch_size in (1, 2, 7, 64, None):
+        dataflow = DataflowExecutor(
+            network, catalog, config=DataflowConfig(batch_size=batch_size), rng=9
+        )
+        rows, stats = dataflow.execute(plan)
+        assert result_key(rows) == result_key(rows_atomic)
+        assert stats.mode == "pipelined"
+        assert stats.pipeline.batch_size == batch_size

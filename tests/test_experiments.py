@@ -257,3 +257,40 @@ class TestExtCacheEffectiveness:
         )
         # zero recall loss everywhere
         assert all(row[columns.index("recall_delta")] == 0.0 for row in result.rows)
+
+
+class TestFig07CdfPipelining:
+    """Acceptance: DHT wins resolve mid-join, strictly before completion."""
+
+    def test_multi_keyword_dht_wins_answer_before_join_completes(self):
+        report = fig07_latency.get_event_report(SMALL_SCALE)
+        wins = [
+            outcome
+            for outcome in report.outcomes
+            if outcome.used_pier
+            and outcome.pier_results > 0
+            and not outcome.cache_hit
+            and len(outcome.terms) > 1
+        ]
+        assert wins, "the event deployment must answer multi-keyword queries via PIER"
+        for outcome in wins:
+            assert outcome.pier_latency <= outcome.pier_completion_latency + 1e-9
+        from statistics import mean
+
+        first = mean(outcome.pier_latency for outcome in wins)
+        complete = mean(outcome.pier_completion_latency for outcome in wins)
+        assert first < complete  # pipelining measurably visible
+        assert any(
+            outcome.pier_latency < outcome.pier_completion_latency
+            for outcome in wins
+        )
+
+    def test_cdf_carries_pier_columns(self):
+        result = fig07_latency.run_cdf(SMALL_SCALE)
+        assert "pier_first_s" in result.columns
+        assert "pier_complete_s" in result.columns
+        firsts = result.column("pier_first_s")
+        completes = result.column("pier_complete_s")
+        for f, c in zip(firsts, completes):
+            if not (math.isnan(f) or math.isnan(c)):
+                assert f <= c + 1e-9

@@ -257,3 +257,127 @@ class TestConcurrencyAccounting:
             return [race.outcome.pier_latency for race in races]
 
         assert build_and_run() == build_and_run()
+
+
+class TestPipelinedRaces:
+    """Re-queries execute on the streaming dataflow by default: the race
+    resolves at the first answer batch, mid-join."""
+
+    def build(self, config=None, num_files=40, seed=41):
+        dht = DhtNetwork(rng=seed)
+        nodes = dht.populate(32)
+        catalog = Catalog(dht)
+        publisher = Publisher(dht, catalog)
+        search = SearchEngine(dht, catalog)
+        sim = Simulator()
+        engine = HybridQueryEngine(sim, dht, config=config, rng=5)
+        hybrid = HybridUltrapeer(1, nodes[0].node_id, publisher, search,
+                                 gnutella_timeout=TIMEOUT)
+        for index in range(num_files):
+            publish(hybrid, f"montia klorena track{index:03d}.mp3")
+        return sim, dht, engine, hybrid
+
+    def test_first_answer_not_after_pipeline_completion(self):
+        sim, _, engine, hybrid = self.build(
+            config=RaceConfig(batch_size=1, retry_backoff=0.5)
+        )
+        race = hybrid.handle_leaf_query_simulated(
+            engine, ["montia", "klorena"], [math.inf], 3
+        )
+        sim.run()
+        outcome = race.outcome
+        assert outcome.pier_results > 1
+        assert outcome.pier_latency > TIMEOUT
+        assert outcome.pier_latency < outcome.pier_completion_latency
+
+    def test_atomic_mode_still_supported(self):
+        sim, _, engine, hybrid = self.build(
+            config=RaceConfig(execution_mode="atomic", retry_backoff=0.5)
+        )
+        race = hybrid.handle_leaf_query_simulated(
+            engine, ["montia", "klorena"], [math.inf], 3
+        )
+        sim.run()
+        outcome = race.outcome
+        assert outcome.pier_results > 1
+        assert outcome.pier_latency == outcome.pier_completion_latency > TIMEOUT
+
+    def test_pipelined_and_atomic_agree_on_results_and_bytes(self):
+        # One batch per edge (huge batch size) makes the pipelined byte
+        # totals exactly the atomic ones; results agree at any batch size.
+        results = {}
+        for mode in ("pipelined", "atomic"):
+            sim, _, engine, hybrid = self.build(
+                config=RaceConfig(execution_mode=mode, batch_size=10**9)
+            )
+            race = hybrid.handle_leaf_query_simulated(
+                engine, ["montia", "klorena"], [math.inf], 3
+            )
+            sim.run()
+            results[mode] = (race.outcome.pier_results, race.outcome.pier_bytes)
+        assert results["pipelined"] == results["atomic"]
+
+    def test_stop_after_bounds_answers(self):
+        sim, _, engine, hybrid = self.build(
+            config=RaceConfig(batch_size=1, stop_after=1)
+        )
+        race = hybrid.handle_leaf_query_simulated(
+            engine, ["montia", "klorena"], [math.inf], 3
+        )
+        sim.run()
+        assert race.done
+        assert race.outcome.pier_results >= 1
+        full = self.build(config=RaceConfig(batch_size=1))
+        sim2, _, engine2, hybrid2 = full
+        race2 = hybrid2.handle_leaf_query_simulated(
+            engine2, ["montia", "klorena"], [math.inf], 3
+        )
+        sim2.run()
+        assert race.outcome.pier_results < race2.outcome.pier_results
+
+    def test_races_with_dataflow_survive_churn(self):
+        sim, dht, engine, hybrid = self.build(
+            config=RaceConfig(batch_size=1, retry_backoff=0.5)
+        )
+        races = [
+            hybrid.handle_leaf_query_simulated(
+                engine, ["montia", "klorena"], [math.inf], 3
+            )
+            for _ in range(8)
+        ]
+        for step in range(1, 8):
+            sim.schedule(TIMEOUT + step * 0.7, lambda: (
+                dht.size > 4 and dht.remove_node(dht.random_node_id(), graceful=False)
+            ))
+        sim.run()
+        assert all(race.done for race in races)
+        assert engine.inflight == 0
+
+    def test_early_terminated_answers_never_cached(self):
+        dht = DhtNetwork(rng=41)
+        nodes = dht.populate(32)
+        catalog = Catalog(dht)
+        publisher = Publisher(dht, catalog)
+        search = SearchEngine(dht, catalog)
+        sim = Simulator()
+        engine = HybridQueryEngine(
+            sim, dht, config=RaceConfig(batch_size=1, stop_after=1), rng=5
+        )
+        hybrid = HybridUltrapeer(
+            1, nodes[0].node_id, publisher, search,
+            gnutella_timeout=TIMEOUT,
+            result_cache=QueryResultCache(budget_bytes=64 * 1024),
+        )
+        for index in range(20):
+            publish(hybrid, f"montia klorena track{index:02d}.mp3")
+        first = hybrid.handle_leaf_query_simulated(
+            engine, ["montia", "klorena"], [math.inf], 3
+        )
+        sim.run()
+        assert first.outcome.pier_results >= 1  # truncated answer delivered...
+        assert hybrid.cache_lookup(["montia", "klorena"]) is None  # ...not cached
+        second = hybrid.handle_leaf_query_simulated(
+            engine, ["montia", "klorena"], [math.inf], 3
+        )
+        sim.run()
+        assert not second.outcome.cache_hit

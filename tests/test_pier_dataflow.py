@@ -1,0 +1,216 @@
+"""Unit tests for the streaming exchange dataflow runtime."""
+
+import pytest
+
+from repro.common.errors import DhtError
+from repro.dht.network import DhtNetwork
+from repro.pier.catalog import Catalog
+from repro.pier.dataflow import DataflowConfig, DataflowExecutor, temp_ring_key
+from repro.pier.executor import DistributedExecutor
+from repro.pier.operators import Scan, SpillSink, SymmetricHashJoin
+from repro.pier.planner import KeywordPlanner
+from repro.piersearch.publisher import Publisher
+from repro.piersearch.search import SearchEngine
+from repro.sim.engine import Simulator
+
+WORDS = ["nebula", "quasar", "aurora", "meteor"]
+
+
+def build_world(num_files=30, seed=13, nodes=24):
+    network = DhtNetwork(rng=seed)
+    network.populate(nodes)
+    catalog = Catalog(network)
+    publisher = Publisher(network, catalog)
+    import random
+
+    rng = random.Random(seed + 1)
+    for index in range(num_files):
+        name = f"{rng.choice(WORDS)} {rng.choice(WORDS)} track{index:03d}.mp3"
+        publisher.publish_file(name, 1000 + index, f"10.0.0.{index}", 6346)
+    return network, catalog
+
+
+def plan_for(network, catalog, terms, batch_size=None):
+    plan = KeywordPlanner(catalog).plan(terms, network.random_node_id())
+    plan.batch_size = batch_size
+    return plan
+
+
+class TestPipelinedExecution:
+    def test_batches_shipped_scale_with_batch_size(self):
+        network, catalog = build_world()
+        plan = plan_for(network, catalog, ["nebula", "quasar"])
+        few = DataflowExecutor(
+            network, catalog, config=DataflowConfig(batch_size=None), rng=3
+        )
+        many = DataflowExecutor(
+            network, catalog, config=DataflowConfig(batch_size=1), rng=3
+        )
+        _, stats_few = few.execute(plan)
+        _, stats_many = many.execute(plan)
+        assert stats_many.pipeline.batches_shipped > stats_few.pipeline.batches_shipped
+        assert stats_few.pipeline.batches_shipped >= 2  # rehash + answers
+
+    def test_first_answer_strictly_before_completion_when_batched(self):
+        network, catalog = build_world()
+        plan = plan_for(network, catalog, ["nebula", "quasar"], batch_size=1)
+        dataflow = DataflowExecutor(
+            network, catalog, config=DataflowConfig(batch_size=1), rng=3
+        )
+        rows, stats = dataflow.execute(plan)
+        assert len(rows) > 1
+        pipeline = stats.pipeline
+        assert pipeline.first_answer_time is not None
+        assert pipeline.first_answer_time < pipeline.completion_time
+
+    def test_executor_pipelined_mode_delegates(self):
+        network, catalog = build_world()
+        plan = plan_for(network, catalog, ["nebula"])
+        executor = DistributedExecutor(network, catalog, mode="pipelined", rng=5)
+        rows, stats = executor.execute(plan)
+        assert stats.mode == "pipelined"
+        assert rows
+
+    def test_executor_rejects_unknown_mode(self):
+        network, catalog = build_world(num_files=1)
+        with pytest.raises(ValueError):
+            DistributedExecutor(network, catalog, mode="warp")
+
+    def test_search_engine_pipelined_mode(self):
+        network, catalog = build_world()
+        atomic_engine = SearchEngine(network, catalog)
+        pipelined_engine = SearchEngine(network, catalog, mode="pipelined")
+        node = network.random_node_id()
+        a = atomic_engine.search(["nebula", "quasar"], query_node=node)
+        b = pipelined_engine.search(["nebula", "quasar"], query_node=node)
+        assert sorted(a.filenames) == sorted(b.filenames)
+        assert b.stats.mode == "pipelined"
+
+
+class TestEarlyTermination:
+    def test_stop_after_cancels_upstream_and_saves_bytes(self):
+        network, catalog = build_world(num_files=60)
+        plan = plan_for(network, catalog, ["nebula", "quasar"], batch_size=1)
+        # Slow pacing keeps upstream batches queued when the first answer
+        # lands, so cancellation has something to cancel.
+        config = DataflowConfig(batch_size=1, send_interval=1.0)
+        full = DataflowExecutor(network, catalog, config=config, rng=7)
+        rows_full, stats_full = full.execute(plan)
+        assert len(rows_full) > 1
+        stopped = DataflowExecutor(network, catalog, config=config, rng=7)
+        rows_stopped, stats_stopped = stopped.execute(plan, stop_after=1)
+        pipeline = stats_stopped.pipeline
+        assert pipeline.early_terminated
+        assert pipeline.batches_cancelled > 0
+        assert stats_stopped.bytes < stats_full.bytes
+        assert len(rows_stopped) >= 1
+
+    def test_stop_after_larger_than_results_drains_normally(self):
+        network, catalog = build_world()
+        plan = plan_for(network, catalog, ["nebula", "quasar"], batch_size=2)
+        dataflow = DataflowExecutor(network, catalog, rng=7)
+        rows, stats = dataflow.execute(plan, stop_after=10_000)
+        assert not stats.pipeline.early_terminated
+        assert stats.pipeline.batches_cancelled == 0
+        assert rows
+
+
+class TestMemoryBudgetSpill:
+    def test_spill_preserves_results_and_counts(self):
+        network, catalog = build_world(num_files=40)
+        plan = plan_for(network, catalog, ["nebula", "quasar"], batch_size=4)
+        unbounded = DataflowExecutor(network, catalog, rng=11)
+        rows_ref, _ = unbounded.execute(plan)
+        budgeted = DataflowExecutor(
+            network,
+            catalog,
+            config=DataflowConfig(batch_size=4, memory_budget=3),
+            rng=11,
+        )
+        rows, stats = budgeted.execute(plan)
+        key = lambda rs: sorted((r["fileID"], r["ipAddress"]) for r in rs)
+        assert key(rows) == key(rows_ref)
+        assert stats.pipeline.spilled_tuples > 0
+        assert stats.pipeline.spill_reads > 0
+
+    def test_spill_state_released_at_completion(self):
+        network, catalog = build_world(num_files=40)
+        plan = plan_for(network, catalog, ["nebula", "quasar"], batch_size=4)
+        budgeted = DataflowExecutor(
+            network,
+            catalog,
+            config=DataflowConfig(batch_size=4, memory_budget=3),
+            rng=11,
+        )
+        budgeted.execute(plan)
+        spill_keys = {
+            temp_ring_key(1, stage, f"spill-{side}")
+            for stage in range(4)
+            for side in ("left", "right")
+        }
+        for node in network.nodes.values():
+            for ring_key, values in node.store.items():
+                assert ring_key not in spill_keys or not values
+
+    def test_incremental_shj_spills_and_matches(self):
+        left = [{"k": i % 3, "side": "l", "i": i} for i in range(9)]
+        right = [{"k": i % 3, "side": "r", "i": i + 100} for i in range(9)]
+        reference = SymmetricHashJoin(Scan(left), Scan(right), "k").rows()
+        bounded = SymmetricHashJoin(
+            Scan(left), Scan(right), "k", memory_budget=4, spill_sink=SpillSink("k")
+        )
+        rows = bounded.rows()
+        signature = lambda rs: sorted(sorted(r.items()) for r in rs)
+        assert signature(rows) == signature(reference)
+        assert bounded.spilled_rows > 0
+        assert bounded.spill_reads > 0
+
+
+class TestFailureHandling:
+    def test_mid_flow_route_break_reports_error(self):
+        network, catalog = build_world()
+        plan = plan_for(network, catalog, ["nebula", "quasar"], batch_size=1)
+        sim = Simulator()
+        dataflow = DataflowExecutor(network, catalog, sim=sim, rng=7)
+        errors = []
+        query = dataflow.submit(
+            plan, on_error=lambda q, e: errors.append(e)
+        )
+        # Collapse the ring to a single node while batches are in flight:
+        # either a stage site or a route disappears under the pipeline.
+        def collapse():
+            for node_id in list(network.nodes):
+                if network.size > 1:
+                    network.remove_node(node_id, graceful=False)
+        sim.schedule(0.5, collapse)
+        sim.run()
+        assert query.done
+        if query.error is not None:
+            assert isinstance(query.error, DhtError)
+            assert errors
+
+    def test_execute_raises_on_broken_plan_site(self):
+        network, catalog = build_world()
+        plan = plan_for(network, catalog, ["nebula", "quasar"])
+        for stage in plan.stages:
+            if stage.site in network.nodes:
+                network.remove_node(stage.site, graceful=False)
+        network.stabilize()
+        dataflow = DataflowExecutor(network, catalog, rng=7)
+        with pytest.raises(DhtError):
+            dataflow.execute(plan)
+
+
+class TestEmptyStreams:
+    def test_no_match_conjunction_returns_empty_with_answer_charge(self):
+        network, catalog = build_world()
+        # "montia" never appears in this corpus.
+        planner = KeywordPlanner(catalog)
+        plan = planner.plan(["montia", "nebula"], network.random_node_id())
+        dataflow = DataflowExecutor(network, catalog, rng=7)
+        rows, stats = dataflow.execute(plan)
+        assert rows == []
+        assert stats.results == 0
+        assert stats.bytes > 0  # dissemination + empty rehash + empty answer
+        assert stats.pipeline.completion_time is not None
+        assert stats.pipeline.first_answer_time is None

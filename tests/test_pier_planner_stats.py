@@ -1,0 +1,137 @@
+"""Tests for memoized catalog statistics and planner batch/strategy choice."""
+
+import pytest
+
+from repro.dht.network import DhtNetwork
+from repro.pier.catalog import Catalog
+from repro.pier.planner import (
+    INVERTED_CACHE_THRESHOLD,
+    KeywordPlanner,
+    MAX_BATCH_SIZE,
+    MIN_BATCH_SIZE,
+)
+from repro.pier.query import JoinStrategy
+from repro.piersearch.publisher import Publisher
+
+FILES = [
+    ("nebula quasar one.mp3", "1.0.0.1"),
+    ("nebula quasar two.mp3", "1.0.0.2"),
+    ("nebula aurora three.mp3", "1.0.0.3"),
+]
+
+
+@pytest.fixture()
+def world():
+    network = DhtNetwork(rng=31)
+    network.populate(24)
+    catalog = Catalog(network)
+    publisher = Publisher(network, catalog)
+    for name, ip in FILES:
+        publisher.publish_file(name, 100, ip, 6346)
+    return network, catalog, publisher
+
+
+class TestMemoizedPostingStats:
+    def test_replanning_probes_once_per_keyword(self, world):
+        network, catalog, _ = world
+        planner = KeywordPlanner(catalog)
+        before = catalog.stats_probes
+        for _ in range(25):
+            planner.plan(["nebula", "quasar"], network.random_node_id())
+        assert catalog.stats_probes == before + 2  # one probe per keyword, ever
+
+    def test_sizes_match_unmemoized_probe(self, world):
+        network, catalog, _ = world
+        planner = KeywordPlanner(catalog)
+        assert planner.posting_size("nebula") == 3
+        assert planner.posting_size("quasar") == 2
+        assert planner.posting_size("aurora") == 1
+        assert planner.posting_size("missing") == 0
+
+    def test_publish_invalidates(self, world):
+        network, catalog, publisher = world
+        planner = KeywordPlanner(catalog)
+        assert planner.posting_size("quasar") == 2
+        publisher.publish_file("nebula quasar four.mp3", 100, "1.0.0.4", 6346)
+        assert planner.posting_size("quasar") == 3
+
+    def test_churn_invalidates(self, world):
+        network, catalog, _ = world
+        planner = KeywordPlanner(catalog)
+        size = planner.posting_size("nebula")
+        probes = catalog.stats_probes
+        # A join/leave changes key ownership: the cache must re-probe.
+        network.remove_node(network.random_node_id(), graceful=True)
+        network.stabilize()
+        assert planner.posting_size("nebula") == size  # graceful handoff
+        assert catalog.stats_probes == probes + 1
+
+    def test_cache_hit_does_not_reprobe(self, world):
+        network, catalog, _ = world
+        planner = KeywordPlanner(catalog)
+        planner.posting_size("nebula")
+        probes = catalog.stats_probes
+        for _ in range(10):
+            planner.posting_size("nebula")
+        assert catalog.stats_probes == probes
+
+
+class TestBatchSizeChoice:
+    def test_scales_with_smallest_posting_list(self, world):
+        _, catalog, _ = world
+        planner = KeywordPlanner(catalog)
+        tiny = planner.choose_batch_size({"a": 4, "b": 10_000})
+        huge = planner.choose_batch_size({"a": 60_000})
+        assert MIN_BATCH_SIZE <= tiny <= huge <= MAX_BATCH_SIZE
+        assert tiny < huge
+
+    def test_power_of_two_and_clamped(self, world):
+        _, catalog, _ = world
+        planner = KeywordPlanner(catalog)
+        for size in (0, 1, 5, 77, 3000, 10**7):
+            batch = planner.choose_batch_size({"k": size})
+            assert MIN_BATCH_SIZE <= batch <= MAX_BATCH_SIZE
+            assert batch & (batch - 1) == 0
+
+    def test_plan_carries_batch_size_and_sizes(self, world):
+        network, catalog, _ = world
+        planner = KeywordPlanner(catalog)
+        plan = planner.plan(["nebula", "quasar"], network.random_node_id())
+        assert plan.batch_size is not None
+        assert plan.posting_sizes == {"nebula": 3, "quasar": 2}
+
+
+class TestStrategyChoice:
+    def test_single_term_always_distributed_join(self, world):
+        _, catalog, _ = world
+        planner = KeywordPlanner(catalog)
+        assert (
+            planner.choose_strategy({"k": 10**6}) is JoinStrategy.DISTRIBUTED_JOIN
+        )
+
+    def test_without_cache_table_stays_distributed(self):
+        network = DhtNetwork(rng=5)
+        network.populate(8)
+        catalog = Catalog(network)
+        from repro.pier.schema import INVERTED_SCHEMA, ITEM_SCHEMA
+
+        catalog.register(ITEM_SCHEMA)
+        catalog.register(INVERTED_SCHEMA)
+        planner = KeywordPlanner(catalog)
+        sizes = {"a": INVERTED_CACHE_THRESHOLD * 2, "b": INVERTED_CACHE_THRESHOLD * 2}
+        assert planner.choose_strategy(sizes) is JoinStrategy.DISTRIBUTED_JOIN
+
+    def test_popular_conjunction_prefers_inverted_cache(self, world):
+        _, catalog, _ = world
+        planner = KeywordPlanner(catalog)
+        sizes = {"a": INVERTED_CACHE_THRESHOLD, "b": INVERTED_CACHE_THRESHOLD + 5}
+        assert planner.choose_strategy(sizes) is JoinStrategy.INVERTED_CACHE
+        rare = {"a": 2, "b": INVERTED_CACHE_THRESHOLD + 5}
+        assert planner.choose_strategy(rare) is JoinStrategy.DISTRIBUTED_JOIN
+
+    def test_plan_with_auto_strategy(self, world):
+        network, catalog, _ = world
+        planner = KeywordPlanner(catalog)
+        plan = planner.plan(["nebula", "quasar"], network.random_node_id(), strategy=None)
+        # Posting lists here are tiny: the join ships almost nothing.
+        assert plan.strategy is JoinStrategy.DISTRIBUTED_JOIN

@@ -82,3 +82,64 @@ class TestTempTuples:
         rows, _ = executor.execute(plan)
         assert rows == []
         assert executor.release_temp_tuples() == 0
+
+
+class TestMidChainFailureCleanup:
+    """A plan that raises mid-chain must not orphan its temp tuples."""
+
+    def _count_temp_tuples(self, network):
+        from repro.pier.dataflow import temp_ring_key
+
+        keys = {temp_ring_key(query, stage) for query in range(1, 8) for stage in range(8)}
+        return sum(
+            len(values)
+            for node in network.nodes.values()
+            for key, values in node.store.items()
+            if key in keys
+        )
+
+    def test_forced_mid_join_dht_error_releases_temp_tuples(self, env, monkeypatch):
+        from repro.common.errors import DhtError
+
+        network, planner, executor = env
+        plan = planner.plan(
+            ["darel", "montia", "klorena"],
+            network.random_node_id(),
+            order_by_size=False,
+        )
+        # Fail routing as soon as the first join stage has stashed its
+        # intermediate state: the next rehash (or Item fetch) breaks.
+        original = network.lookup
+
+        def flaky_lookup(key, origin=None):
+            if executor._temp_keys:
+                raise DhtError("forced mid-join failure")
+            return original(key, origin)
+
+        monkeypatch.setattr(network, "lookup", flaky_lookup)
+        with pytest.raises(DhtError):
+            executor.execute(plan)
+        assert self._count_temp_tuples(network) == 0
+        assert executor.release_temp_tuples() == 0
+
+    def test_successful_query_after_failure_keeps_its_tuples(self, env, monkeypatch):
+        from repro.common.errors import DhtError
+
+        network, planner, executor = env
+        ok_plan = planner.plan(["darel", "klorena"], network.random_node_id(), order_by_size=False)
+        rows, _ = executor.execute(ok_plan)
+        assert rows
+        kept = self._count_temp_tuples(network)
+        assert kept > 0
+
+        fail_plan = planner.plan(["darel", "montia"], network.random_node_id(), order_by_size=False)
+        monkeypatch.setattr(
+            network,
+            "lookup",
+            lambda key, origin=None: (_ for _ in ()).throw(DhtError("forced")),
+        )
+        with pytest.raises(DhtError):
+            executor.execute(fail_plan)
+        # The failed query's stash is gone; the earlier one's survives.
+        assert self._count_temp_tuples(network) == kept
+        assert executor.release_temp_tuples() > 0

@@ -188,3 +188,66 @@ class TestEdgeCases:
         cancelled.cancel()
         assert sim.pending == 1
         assert kept.cancelled is False
+
+
+class TestEventGroup:
+    def test_cancel_kills_only_pending_events(self):
+        sim = Simulator()
+        group = sim.group()
+        fired = []
+        group.schedule(1.0, lambda: fired.append("a"))
+        group.schedule(3.0, lambda: fired.append("b"))
+        sim.run(until=2.0)
+        assert group.pending == 1
+        assert group.cancel() == 1
+        sim.run()
+        assert fired == ["a"]
+
+    def test_cancelled_group_refuses_new_work(self):
+        sim = Simulator()
+        group = sim.group()
+        group.cancel()
+        assert group.schedule(1.0, lambda: None) is None
+        assert group.pending == 0
+        sim.run()
+
+    def test_fired_events_leave_the_group(self):
+        sim = Simulator()
+        group = sim.group()
+        for delay in (1.0, 2.0, 3.0):
+            group.schedule(delay, lambda: None)
+        assert group.pending == 3
+        sim.run()
+        assert group.pending == 0
+        assert group.cancel() == 0
+
+    def test_groups_are_independent(self):
+        sim = Simulator()
+        doomed, kept = sim.group(), sim.group()
+        fired = []
+        doomed.schedule(1.0, lambda: fired.append("doomed"))
+        kept.schedule(1.0, lambda: fired.append("kept"))
+        doomed.cancel()
+        sim.run()
+        assert fired == ["kept"]
+
+    def test_schedule_at_uses_absolute_time(self):
+        sim = Simulator()
+        group = sim.group()
+        fired = []
+        sim.schedule(2.0, lambda: group.schedule_at(5.0, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_callback_scheduling_into_cancelled_group_is_noop(self):
+        sim = Simulator()
+        group = sim.group()
+        fired = []
+
+        def reschedule():
+            group.cancel()
+            assert group.schedule(1.0, lambda: fired.append("late")) is None
+
+        group.schedule(1.0, reschedule)
+        sim.run()
+        assert fired == []
