@@ -7,6 +7,9 @@ Two uses in the paper:
   search costs at the price of losing substring/wildcard matching.
 * Section 6.3: term-frequency statistics for the TF/TPF rare-item schemes
   can be Bloom-compressed to shrink their memory footprint.
+* The PIER optimizer's Bloom join (:mod:`repro.pier.optimizer`): the
+  rarest posting list ships as a Bloom filter instead of a key digest,
+  and only probable matches travel back.
 
 The implementation is a classic k-hash Bloom filter over a bit array
 (stored in one Python int, which keeps it compact and hashable-free).
@@ -82,3 +85,19 @@ class BloomFilter:
     def estimated_false_positive_rate(self) -> float:
         """FP probability implied by the current fill ratio."""
         return self.fill_ratio**self.num_hashes
+
+
+def bloom_for_keys(keys, false_positive_rate: float = 0.01) -> BloomFilter:
+    """Build a filter over ``keys``, sized for them at the target FP rate.
+
+    The single sizing rule both PIER runtimes (atomic executor and
+    streaming dataflow) use for the Bloom join, so the filter a query
+    ships is bit-identical whichever runtime executes it. An empty key
+    set yields the minimal (8-bit, matches-nothing) filter.
+    """
+    keys = list(keys)
+    if not keys:
+        return BloomFilter(num_bits=8, num_hashes=1)
+    bloom = BloomFilter.with_capacity(len(keys), false_positive_rate)
+    bloom.update(keys)
+    return bloom

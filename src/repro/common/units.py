@@ -81,6 +81,28 @@ class CostModel:
         payload = self.fileid_bytes + len(keyword.encode()) + len(filename.encode())
         return self.tuple_bytes(payload)
 
+    def rehash_tuple_bytes(self) -> int:
+        """Wire size of one framed posting tuple on a rehash edge.
+
+        The distributed join ships ``(fileID, keyword-allowance)`` tuples
+        with full framing and serialization; the executor, the streaming
+        dataflow, and the optimizer's cost model must all use this one
+        figure — a drifted copy would make the pricer mis-rank
+        DISTRIBUTED_JOIN against the digest rewrites.
+        """
+        return self.tuple_bytes(self.fileid_bytes + 12)
+
+    def digest_bytes(self, entry_count: int) -> int:
+        """Wire size of a packed fileID digest carrying ``entry_count`` keys.
+
+        The semi-join/Bloom-join rewrites ship raw fileIDs back to back —
+        no per-tuple framing and no self-describing serialization (the
+        overhead the paper says could "in principle be eliminated"; a
+        packed binary digest eliminates it). This is why a digest entry
+        costs ~26x less than the same entry as a framed posting tuple.
+        """
+        return entry_count * self.fileid_bytes
+
     def message_bytes(self, payload_bytes: int) -> int:
         """One DHT message carrying ``payload_bytes``."""
         return self.header_bytes + payload_bytes

@@ -19,6 +19,7 @@ from repro.experiments import (
     ext_churn,
     ext_dataflow,
     ext_horizon_load,
+    ext_optimizer,
     fig04_replication,
     fig05_result_cdf,
     fig06_union_cdf,
@@ -58,6 +59,7 @@ EXPERIMENTS = {
     "ext-churn": ext_churn.run,
     "ext-cache": ext_cache_effectiveness.run,
     "ext-dataflow": ext_dataflow.run,
+    "ext-optimizer": ext_optimizer.run,
 }
 
 

@@ -54,6 +54,10 @@ class DeploymentConfig:
     num_background_queries: int = 600
     num_test_queries: int = 400
     inverted_cache: bool = False
+    #: price all four join strategies (distributed/semi/Bloom join,
+    #: InvertedCache) per re-query with the cost-based optimizer and run
+    #: the cheapest; False keeps the fixed per-deployment strategy
+    cost_optimizer: bool = False
     qrs_threshold: int = 20
     gnutella_timeout: float = 30.0
     #: clients deepen to TTL 3 here: on the down-scaled overlay that covers
@@ -190,6 +194,15 @@ class DeploymentReport:
 def run_deployment(config: DeploymentConfig | None = None) -> DeploymentReport:
     """Run the full Section 7 experiment and return the report."""
     config = config or DeploymentConfig()
+    if config.cost_optimizer and config.inverted_cache:
+        # An InvertedCache deployment has already fixed its strategy (and
+        # prepaid the bandwidth at publish time); silently ignoring the
+        # optimizer would report numbers from a configuration that never
+        # ran the four-way choice.
+        raise ValueError(
+            "cost_optimizer=True requires inverted_cache=False: the "
+            "optimizer prices strategies against the Inverted index"
+        )
     rng = make_rng(config.seed)
 
     # --- Assemble the Gnutella network with content -------------------
@@ -215,7 +228,12 @@ def run_deployment(config: DeploymentConfig | None = None) -> DeploymentReport:
     dht_nodes = dht.populate(config.num_hybrid)
     catalog = Catalog(dht)
     publisher = Publisher(dht, catalog, inverted_cache=config.inverted_cache)
-    search_engine = SearchEngine(dht, catalog, inverted_cache=config.inverted_cache)
+    search_engine = SearchEngine(
+        dht,
+        catalog,
+        inverted_cache=config.inverted_cache,
+        optimizer=config.cost_optimizer,
+    )
 
     # --- The repro.cache subsystem (off unless configured) ------------
     # The result cache and popularity stream are shared by all hybrid

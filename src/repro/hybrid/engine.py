@@ -26,7 +26,12 @@ instead:
   are still in flight — a DHT answer wins mid-join, and
   ``pier_completion_latency`` records when the pipeline actually drained.
   ``RaceConfig(execution_mode="atomic")`` restores the legacy synchronous
-  execute with its analytic answer tail.
+  execute with its analytic answer tail. When the submitting ultrapeer's
+  :class:`~repro.piersearch.search.SearchEngine` carries a cost-based
+  optimizer (:mod:`repro.pier.optimizer`), each re-query races with the
+  cheapest of the four join strategies — semi-join digest streams and
+  Bloom-join candidate streams pipeline through the same exchange
+  dataflow as the distributed join.
 * **Resolution** — whichever source delivers first in virtual time wins
   the first-result latency; late Gnutella arrivals still count toward the
   final answer set, exactly like the analytic policy.

@@ -3,17 +3,37 @@
 This package reproduces the slice of PIER [Huebsch et al., VLDB 2003] that
 PIERSearch exercises: relational schemas and tuples, a catalog of DHT-
 indexed tables (with memoized per-epoch posting statistics), local
-physical operators (scan / select / project / substring filter /
-incremental symmetric hash join with optional memory-budgeted spilling),
-and two execution runtimes behind one executor: the atomic stage-at-a-time
-path and the streaming exchange dataflow (:mod:`repro.pier.dataflow`)
-that ships tuple batches between sites as events in virtual time,
-charging every shipped tuple to the bandwidth meter either way.
+physical operators (scan / select / project / substring filter / Bloom
+probe / incremental symmetric hash join with optional memory-budgeted
+spilling), and two execution runtimes behind one executor: the atomic
+stage-at-a-time path and the streaming exchange dataflow
+(:mod:`repro.pier.dataflow`) that ships tuple batches between sites as
+events in virtual time, charging every shipped tuple to the bandwidth
+meter either way.
+
+Four join strategies execute on both runtimes, picked per query by the
+cost-based optimizer (:mod:`repro.pier.optimizer`) from memoized posting
+statistics — what ships between sites, and when each wins:
+
+=================  ================================  =====================
+strategy           bytes shipped site-to-site        when it wins
+=================  ================================  =====================
+DISTRIBUTED_JOIN   framed posting tuples             single-term queries
+                   (~531 B/entry)
+SEMI_JOIN          packed fileID digests             rare∧very-popular
+                   (~20 B/entry)                     term mixes
+BLOOM_JOIN         Bloom filter of the rarest list   comparable/large
+                   (~1.2 B/entry) + probable-match   posting lists
+                   digests, verified at the source
+INVERTED_CACHE     nothing (single-site substring    whenever that table
+                   filtering)                        was published
+=================  ================================  =====================
 """
 
 from repro.pier.schema import Row, Schema, row_identity
 from repro.pier.catalog import Catalog, TableHandle
 from repro.pier.operators import (
+    BloomProbe,
     Distinct,
     GroupByAggregate,
     HashJoin,
@@ -29,6 +49,7 @@ from repro.pier.operators import (
 from repro.pier.query import DistributedPlan, PipelineStats, PlanStage, QueryStats
 from repro.pier.dataflow import DataflowConfig, DataflowExecutor, DataflowQuery
 from repro.pier.executor import DistributedExecutor
+from repro.pier.optimizer import CostBasedOptimizer, CostEstimate, OptimizerConfig
 from repro.pier.planner import KeywordPlanner
 
 __all__ = [
@@ -38,6 +59,7 @@ __all__ = [
     "Catalog",
     "TableHandle",
     "Operator",
+    "BloomProbe",
     "Scan",
     "Selection",
     "Projection",
@@ -56,5 +78,8 @@ __all__ = [
     "DataflowExecutor",
     "DataflowQuery",
     "DistributedExecutor",
+    "CostBasedOptimizer",
+    "CostEstimate",
+    "OptimizerConfig",
     "KeywordPlanner",
 ]

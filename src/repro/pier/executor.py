@@ -1,6 +1,8 @@
 """Distributed plan execution over the DHT.
 
-Implements the two query-processing strategies of Section 3.2:
+Implements the two query-processing strategies of Section 3.2 plus the
+optimizer's two bandwidth-saving join rewrites
+(:mod:`repro.pier.optimizer`):
 
 * **Distributed join** (Figure 2): the node hosting the first keyword
   rehashes its matching Inverted tuples to the node hosting the next
@@ -13,6 +15,18 @@ Implements the two query-processing strategies of Section 3.2:
   resolved locally with substring filters over the cached full text, so no
   posting-list entries cross the network.
 
+* **Semi-join**: the same keyword chain, but sites ship packed fileID
+  digests (~20 B per entry) instead of framed posting tuples (~531 B);
+  each site intersects the arriving digest exactly with its local list.
+  Payloads are fetched second — the final Item fetch is the only place
+  full tuples travel.
+
+* **Bloom join**: the rarest posting list ships as a Bloom filter; the
+  next site forwards digests of only the *probable* matches, downstream
+  sites intersect exactly, and the surviving candidates return to the
+  filter site for exact verification against the rarest list. False
+  positives can therefore inflate digest bytes but never the answer set.
+
 All shipping is charged to the DHT's bandwidth meter; per-query statistics
 (entries shipped, messages, bytes, critical-path hops) are returned in a
 :class:`~repro.pier.query.QueryStats`.
@@ -24,6 +38,7 @@ routing, while final answers return directly to the query node in one hop.
 
 from __future__ import annotations
 
+from repro.common.bloom import bloom_for_keys
 from repro.common.units import CostModel
 from repro.dht.network import DhtNetwork
 from repro.pier.catalog import Catalog
@@ -33,7 +48,7 @@ from repro.pier.dataflow import (
     fetch_items_charged,
     route_hops,
 )
-from repro.pier.operators import Scan, SubstringFilter, SymmetricHashJoin
+from repro.pier.operators import BloomProbe, Scan, SubstringFilter, SymmetricHashJoin
 from repro.pier.query import DistributedPlan, JoinStrategy, QueryStats
 from repro.pier.schema import Row
 
@@ -73,6 +88,16 @@ class DistributedExecutor:
     ):
         if mode not in ("atomic", "pipelined"):
             raise ValueError(f"unknown execution mode {mode!r}")
+        if store_temp_tuples and mode == "pipelined":
+            # The streaming runtime persists join state through its
+            # memory-budget spill sink (DataflowConfig.memory_budget),
+            # not per-stage stashing; silently ignoring the flag would
+            # break the temp-tuple contract without any error.
+            raise ValueError(
+                "store_temp_tuples is an atomic-mode feature; pipelined "
+                "executions persist join state via "
+                "DataflowConfig(memory_budget=...) spilling instead"
+            )
         self.network = network
         self.catalog = catalog
         self.cost_model = cost_model or network.cost_model
@@ -107,6 +132,13 @@ class DistributedExecutor:
         try:
             if plan.strategy is JoinStrategy.INVERTED_CACHE:
                 return self._execute_inverted_cache(plan, fetch_items)
+            if len(plan.stages) > 1:
+                if plan.strategy is JoinStrategy.SEMI_JOIN:
+                    return self._execute_semi_join(plan, fetch_items)
+                if plan.strategy is JoinStrategy.BLOOM_JOIN:
+                    return self._execute_bloom_join(plan, fetch_items)
+            # Single-stage semi/Bloom plans degenerate to the distributed
+            # join (there is nothing to intersect, so nothing ships).
             return self._execute_distributed_join(plan, fetch_items)
         except BaseException:
             # A mid-chain failure (e.g. a DhtError from routing) must not
@@ -184,10 +216,7 @@ class DistributedExecutor:
 
         # 3. Stream matching fileIDs from the last site to the query node.
         #    Query answers go direct (one hop), not through DHT routing.
-        answer_bytes = self.cost_model.message_bytes(
-            len(current) * self.cost_model.tuple_bytes(self.cost_model.fileid_bytes)
-        )
-        self._charge(stats, "pier.answer", 1, answer_bytes)
+        self._charge_answer(stats, len(current))
         stats.critical_path_hops = stats_hops + 1
 
         rows: list[Row] = current
@@ -206,7 +235,7 @@ class DistributedExecutor:
     ) -> list[Row]:
         """Ship ``shipped`` to ``target_site`` and SHJ against ``local``."""
         hops = self._route_hops(source_site, target_site)
-        per_tuple = self.cost_model.tuple_bytes(self.cost_model.fileid_bytes + 12)
+        per_tuple = self.cost_model.rehash_tuple_bytes()
         total_bytes = self.cost_model.routed_bytes(len(shipped) * per_tuple, hops)
         self._charge(stats, "pier.rehash", max(1, hops), total_bytes)
         stats.posting_entries_shipped += len(shipped)
@@ -218,6 +247,139 @@ class DistributedExecutor:
         for row in merged:
             survivors.setdefault(row["fileID"], {"fileID": row["fileID"]})
         return list(survivors.values())
+
+    # ------------------------------------------------------------------
+    # Optimizer rewrites: semi-join and Bloom join
+    # ------------------------------------------------------------------
+
+    def _execute_semi_join(
+        self, plan: DistributedPlan, fetch_items: bool
+    ) -> tuple[list[Row], QueryStats]:
+        """Ship packed key digests down the chain; intersect exactly."""
+        stats = QueryStats(strategy=plan.strategy, keywords=plan.keywords)
+        inverted = self.catalog.table("Inverted")
+        stats.chain_hops = self._disseminate(plan, stats)
+
+        first = plan.stages[0]
+        rows = inverted.fetch_local(first.site, first.keyword)
+        stats.per_stage_entries.append(len(rows))
+        current = list(dict.fromkeys(row["fileID"] for row in rows))
+        previous_site = first.site
+        for stage_index, stage in enumerate(plan.stages[1:], start=1):
+            hops = self._route_hops(previous_site, stage.site)
+            self._charge_digest(stats, "pier.semijoin", len(current), hops)
+            local = inverted.fetch_local(stage.site, stage.keyword)
+            stats.per_stage_entries.append(len(local))
+            local_keys = {row["fileID"] for row in local}
+            current = [key for key in current if key in local_keys]
+            self._stash_temp(
+                stage.site, stage_index, [{"fileID": key} for key in current]
+            )
+            previous_site = stage.site
+            if not current:
+                break
+
+        self._charge_answer(stats, len(current))
+        stats.critical_path_hops = stats.chain_hops + 1
+        result: list[Row] = [{"fileID": key} for key in current]
+        if fetch_items:
+            result = self._fetch_items(result, plan.query_node, stats)
+        stats.results = len(result)
+        return result, stats
+
+    def _execute_bloom_join(
+        self, plan: DistributedPlan, fetch_items: bool
+    ) -> tuple[list[Row], QueryStats]:
+        """Ship a Bloom filter forward, probable-match digests after.
+
+        The rarest posting list travels as a filter; the probe site keeps
+        only keys that *probably* match, downstream sites intersect the
+        candidate digest exactly, and survivors return to the filter site
+        for exact verification — false positives add digest bytes, never
+        answers.
+        """
+        stats = QueryStats(strategy=plan.strategy, keywords=plan.keywords)
+        inverted = self.catalog.table("Inverted")
+        stats.chain_hops = self._disseminate(plan, stats)
+
+        first = plan.stages[0]
+        rows = inverted.fetch_local(first.site, first.keyword)
+        stats.per_stage_entries.append(len(rows))
+        rare_keys = dict.fromkeys(row["fileID"] for row in rows)
+        bloom = bloom_for_keys(list(rare_keys), plan.bloom_fp_rate)
+
+        # Filter leg: the whole rarest list, compressed.
+        second = plan.stages[1]
+        hops = self._route_hops(first.site, second.site)
+        self._charge(
+            stats,
+            "pier.bloom.filter",
+            max(1, hops),
+            self.cost_model.routed_bytes(bloom.size_bytes, hops),
+        )
+        stats.filter_bytes += bloom.size_bytes
+
+        # Probe site: probable matches only (superset of the true ones).
+        local = inverted.fetch_local(second.site, second.keyword)
+        stats.per_stage_entries.append(len(local))
+        probe = BloomProbe(Scan(local), column="fileID", bloom=bloom)
+        candidates = list(dict.fromkeys(row["fileID"] for row in probe))
+        self._stash_temp(second.site, 1, [{"fileID": key} for key in candidates])
+        previous_site = second.site
+
+        # Downstream sites intersect the candidate digest exactly.
+        for stage_index, stage in enumerate(plan.stages[2:], start=2):
+            if not candidates:
+                break
+            hops = self._route_hops(previous_site, stage.site)
+            self._charge_digest(stats, "pier.bloom.digest", len(candidates), hops)
+            local = inverted.fetch_local(stage.site, stage.keyword)
+            stats.per_stage_entries.append(len(local))
+            local_keys = {row["fileID"] for row in local}
+            candidates = [key for key in candidates if key in local_keys]
+            self._stash_temp(
+                stage.site, stage_index, [{"fileID": key} for key in candidates]
+            )
+            previous_site = stage.site
+
+        # Return leg: exact verification against the rarest list removes
+        # every false positive the filter admitted.
+        return_hops = 0
+        if candidates:
+            return_hops = self._route_hops(previous_site, first.site)
+            self._charge_digest(
+                stats, "pier.bloom.digest", len(candidates), return_hops
+            )
+            candidates = [key for key in candidates if key in rare_keys]
+
+        self._charge_answer(stats, len(candidates))
+        stats.critical_path_hops = stats.chain_hops + return_hops + 1
+        result: list[Row] = [{"fileID": key} for key in candidates]
+        if fetch_items:
+            result = self._fetch_items(result, plan.query_node, stats)
+        stats.results = len(result)
+        return result, stats
+
+    def _charge_digest(
+        self, stats: QueryStats, category: str, entry_count: int, hops: int
+    ) -> None:
+        """Charge one packed-digest leg and count its entries."""
+        self._charge(
+            stats,
+            category,
+            max(1, hops),
+            self.cost_model.routed_bytes(
+                self.cost_model.digest_bytes(entry_count), hops
+            ),
+        )
+        stats.posting_entries_shipped += entry_count
+
+    def _charge_answer(self, stats: QueryStats, result_count: int) -> None:
+        """Charge the direct answer message for ``result_count`` fileIDs."""
+        answer_bytes = self.cost_model.message_bytes(
+            result_count * self.cost_model.tuple_bytes(self.cost_model.fileid_bytes)
+        )
+        self._charge(stats, "pier.answer", 1, answer_bytes)
 
     # ------------------------------------------------------------------
     # Figure 3: InvertedCache single-site filtering
@@ -249,10 +411,7 @@ class DistributedExecutor:
         current = list(survivors.values())
 
         # 3. Stream answers directly back to the query node.
-        answer_bytes = self.cost_model.message_bytes(
-            len(current) * self.cost_model.tuple_bytes(self.cost_model.fileid_bytes)
-        )
-        self._charge(stats, "pier.answer", 1, answer_bytes)
+        self._charge_answer(stats, len(current))
         stats.critical_path_hops = hops + 1
 
         result: list[Row] = current

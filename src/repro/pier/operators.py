@@ -89,6 +89,27 @@ class SubstringFilter(Operator):
                 yield row
 
 
+class BloomProbe(Operator):
+    """Keep rows whose ``column`` value *probably* belongs to ``bloom``.
+
+    The receiving-site half of the Bloom join: the rarest posting list
+    arrives as a :class:`~repro.common.bloom.BloomFilter` and the local
+    list is probed against it. The output is a superset of the true
+    matches — Bloom filters never produce false negatives, so no real
+    match is dropped, while false positives survive only until the filter
+    site verifies candidates exactly. Values are probed by ``str()`` (the
+    filter hashes strings; fileIDs are hex strings already).
+    """
+
+    def __init__(self, child: Operator, column: str, bloom):
+        self.child = child
+        self.column = column
+        self.bloom = bloom
+
+    def __iter__(self) -> Iterator[Row]:
+        return (row for row in self.child if str(row[self.column]) in self.bloom)
+
+
 class HashJoin(Operator):
     """Classic build/probe equi-join on one column.
 
@@ -125,19 +146,24 @@ class SpillSink:
 
     def __init__(self, column: str):
         self.column = column
-        self._rows: dict[str, list[Row]] = {"left": [], "right": []}
+        #: spilled rows, partitioned by side and indexed by join key so a
+        #: probe re-reads only its matches instead of scanning the whole
+        #: partition (which would make a budgeted join quadratic)
+        self._rows: dict[str, dict[Any, list[Row]]] = {"left": {}, "right": {}}
         self.spilled_rows = 0
         self.reads = 0
 
     def write(self, side: str, rows: list[Row]) -> None:
         """Persist ``rows`` of ``side``'s hash table."""
-        self._rows[side].extend(rows)
+        partition = self._rows[side]
+        for row in rows:
+            partition.setdefault(row[self.column], []).append(row)
         self.spilled_rows += len(rows)
 
     def read(self, side: str, key: Any) -> list[Row]:
         """Re-read ``side``'s spilled rows whose join column equals ``key``."""
         self.reads += 1
-        return [row for row in self._rows[side] if row[self.column] == key]
+        return list(self._rows[side].get(key, ()))
 
     def has_spilled(self, side: str) -> bool:
         return bool(self._rows[side])

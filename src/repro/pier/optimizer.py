@@ -1,0 +1,241 @@
+"""Cost-based join optimizer: pick the cheapest of the four strategies.
+
+The PIER layer owes most of its query bandwidth to shipping full posting
+lists between sites: the distributed symmetric-hash join rehashes framed,
+serialized posting tuples (~531 B per entry under the default
+:class:`~repro.common.units.CostModel`). The PIER lineage's answer is
+bandwidth-saving join rewrites, and this module prices all four
+strategies per query from the memoized
+:class:`~repro.pier.catalog.Catalog` posting statistics:
+
+* **DISTRIBUTED_JOIN** — ship full framed tuples down the keyword chain.
+* **SEMI_JOIN** — ship packed fileID digests (no framing, no
+  serialization overhead: ~20 B per entry) down the same chain; payloads
+  (Item tuples) are fetched second, only for survivors.
+* **BLOOM_JOIN** — compress the rarest posting list into a Bloom filter
+  (~1.2 B per entry at 1% FP), ship the filter forward, and ship back
+  digests of only the *probable* matches. The filter site verifies
+  candidates exactly against its local list, so Bloom false positives
+  inflate the digest legs but can never change the answer set.
+* **INVERTED_CACHE** — resolve at the single site hosting the rarest
+  term's InvertedCache list (nothing ships between posting sites), when
+  that table was published.
+
+Byte-cost model
+---------------
+
+For posting sizes sorted ascending ``n1 <= ... <= nk``, per-leg hop
+estimate ``h``, join selectivity ``sigma`` (expected fraction of the
+rarest list surviving each additional join) and Bloom FP target ``fp``,
+the model prices only the terms that *differ* between strategies — plan
+dissemination plus inter-site shipping. Answer delivery and Item fetches
+are identical across strategies (same answer set) and are excluded:
+
+* survivors shipped on leg ``i``: ``s_i = n1 * sigma^(i-1)``
+* ``DISTRIBUTED_JOIN``: ``k`` plan legs + ``sum_i s_i *
+  tuple_bytes(fileid + 12)`` framed tuples, one header per hop.
+* ``SEMI_JOIN``: ``k`` plan legs + ``sum_i digest_bytes(s_i)``.
+* ``BLOOM_JOIN``: ``k`` plan legs + one Bloom filter sized for ``n1`` at
+  ``fp`` + candidate digests ``c_i = s_i + n2 * fp * sigma^(i-2)``
+  (true survivors plus the false positives the probe site lets through)
+  on the forward legs, plus the ``c_k`` return leg to the filter site.
+* ``INVERTED_CACHE``: one plan leg, nothing else.
+
+Ties break toward the simpler strategy (distributed join first), and a
+single-term query always takes the distributed join — no strategy ships
+anything when there is nothing to intersect.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.bloom import BloomFilter
+from repro.common.units import CostModel
+from repro.pier.catalog import Catalog
+from repro.pier.query import JoinStrategy
+
+def inverted_cache_covers(catalog: Catalog, sizes: dict[str, int]) -> bool:
+    """Whether the InvertedCache strategy can answer this query.
+
+    The table being *registered* is not enough — the publisher registers
+    every schema up front, so an Inverted-only deployment still has an
+    (empty) InvertedCache table. The strategy is only equivalent when the
+    cache actually covers the rarest term's posting list; a smaller cache
+    list means partially-published content and would silently drop
+    answers. The single coverage policy shared by the cost-based
+    optimizer and the legacy planner threshold.
+    """
+    if "InvertedCache" not in catalog:
+        return False
+    rarest, rarest_size = min(sizes.items(), key=lambda kv: (kv[1], kv[0]))
+    if rarest_size == 0:
+        return True  # empty intersection either way
+    return catalog.posting_size("InvertedCache", rarest) >= rarest_size
+
+
+#: tie-break preference: simpler machinery wins equal-cost comparisons
+_PREFERENCE = (
+    JoinStrategy.DISTRIBUTED_JOIN,
+    JoinStrategy.SEMI_JOIN,
+    JoinStrategy.BLOOM_JOIN,
+    JoinStrategy.INVERTED_CACHE,
+)
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Knobs of the byte-cost model."""
+
+    #: target false-positive rate the Bloom join sizes its filter for
+    bloom_fp_rate: float = 0.01
+    #: expected fraction of the rarest posting list surviving each
+    #: additional join (drives the decaying survivor estimate)
+    join_selectivity: float = 0.1
+    #: overlay hops charged per routed leg (None = log2 of the live ring)
+    hop_estimate: int | None = None
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted differential wire cost of one strategy for one query."""
+
+    strategy: JoinStrategy
+    bytes: int
+    #: human-readable breakdown (plan / shipping terms), for experiment
+    #: tables and golden-file review
+    detail: str
+
+    @property
+    def kilobytes(self) -> float:
+        return self.bytes / 1024
+
+
+class CostBasedOptimizer:
+    """Prices every executable strategy and picks the cheapest.
+
+    Statistics come in as the planner's per-keyword posting sizes (which
+    the :class:`Catalog` memoizes per epoch, so pricing a replayed
+    workload costs no extra ring probes); availability comes from the
+    catalog (the InvertedCache strategy needs its table registered).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_model: CostModel | None = None,
+        config: OptimizerConfig | None = None,
+    ):
+        self.catalog = catalog
+        self.cost_model = cost_model or catalog.network.cost_model
+        self.config = config or OptimizerConfig()
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+
+    def hop_estimate(self) -> int:
+        """Overlay hops charged per routed leg."""
+        if self.config.hop_estimate is not None:
+            return max(1, self.config.hop_estimate)
+        live = len(self.catalog.network.nodes)
+        return max(1, math.ceil(math.log2(live)) if live > 1 else 1)
+
+    def _plan_cost(self, legs: int) -> int:
+        cost = self.cost_model
+        return legs * cost.routed_bytes(cost.query_plan_bytes, self.hop_estimate())
+
+    def _survivors(self, n1: int, leg: int) -> int:
+        """Estimated entries surviving onto leg ``leg`` (1-based)."""
+        return int(round(n1 * self.config.join_selectivity ** (leg - 1)))
+
+    def estimates(
+        self, sizes: dict[str, int], inverted_cache: bool | None = None
+    ) -> dict[JoinStrategy, CostEstimate]:
+        """Price every strategy executable for these posting sizes.
+
+        ``inverted_cache`` forces the InvertedCache strategy's
+        availability; ``None`` (the planner's path) probes the catalog
+        (:meth:`_inverted_cache_usable`). The override exists for pricing
+        hypothetical stats tables — the golden-file regression test pins
+        choices on a canonical table without publishing a corpus.
+        """
+        cost = self.cost_model
+        ordered = sorted(sizes.values())
+        k = len(ordered)
+        hops = self.hop_estimate()
+        header = cost.header_bytes * hops
+        if k < 2:
+            # Nothing to intersect: every non-cache strategy degenerates
+            # to the same single-site fetch.
+            plan = self._plan_cost(max(1, k))
+            return {
+                JoinStrategy.DISTRIBUTED_JOIN: CostEstimate(
+                    JoinStrategy.DISTRIBUTED_JOIN, plan, f"plan {plan}B, no shipping"
+                )
+            }
+        n1 = ordered[0]
+        fp = self.config.bloom_fp_rate
+        plan = self._plan_cost(k)
+
+        rehash_tuple = cost.rehash_tuple_bytes()
+        dist_ship = sum(
+            self._survivors(n1, leg) * rehash_tuple + header for leg in range(1, k)
+        )
+        semi_ship = sum(
+            cost.digest_bytes(self._survivors(n1, leg)) + header for leg in range(1, k)
+        )
+        filter_bytes = BloomFilter.with_capacity(max(1, n1), fp).size_bytes
+        candidates = [
+            int(round(self._survivors(n1, leg) + ordered[1] * fp
+                      * self.config.join_selectivity ** (leg - 2)))
+            for leg in range(2, k + 1)
+        ]
+        bloom_ship = (
+            filter_bytes + header
+            + sum(cost.digest_bytes(c) + header for c in candidates)
+        )
+
+        results = {
+            JoinStrategy.DISTRIBUTED_JOIN: CostEstimate(
+                JoinStrategy.DISTRIBUTED_JOIN,
+                plan + dist_ship,
+                f"plan {plan}B + framed tuples {dist_ship}B",
+            ),
+            JoinStrategy.SEMI_JOIN: CostEstimate(
+                JoinStrategy.SEMI_JOIN,
+                plan + semi_ship,
+                f"plan {plan}B + key digests {semi_ship}B",
+            ),
+            JoinStrategy.BLOOM_JOIN: CostEstimate(
+                JoinStrategy.BLOOM_JOIN,
+                plan + bloom_ship,
+                f"plan {plan}B + filter {filter_bytes}B + candidate digests",
+            ),
+        }
+        ic_available = (
+            self._inverted_cache_usable(sizes)
+            if inverted_cache is None
+            else inverted_cache
+        )
+        if ic_available:
+            ic_plan = self._plan_cost(1)
+            results[JoinStrategy.INVERTED_CACHE] = CostEstimate(
+                JoinStrategy.INVERTED_CACHE, ic_plan, f"plan {ic_plan}B, no shipping"
+            )
+        return results
+
+    def _inverted_cache_usable(self, sizes: dict[str, int]) -> bool:
+        """Coverage probe: see :func:`inverted_cache_covers`."""
+        return inverted_cache_covers(self.catalog, sizes)
+
+    def choose(
+        self, sizes: dict[str, int], inverted_cache: bool | None = None
+    ) -> JoinStrategy:
+        """The cheapest executable strategy for these posting sizes."""
+        priced = self.estimates(sizes, inverted_cache=inverted_cache)
+        return min(
+            priced.values(),
+            key=lambda e: (e.bytes, _PREFERENCE.index(e.strategy)),
+        ).strategy

@@ -10,16 +10,27 @@ The planner also feeds the streaming dataflow runtime: from the same
 posting-size statistics it picks the exchange **batch size** (small
 batches for rare terms, so the first answer leaves quickly; larger
 batches for popular terms, amortising per-message headers) and — when
-asked to choose — the **strategy** (a query whose rarest posting list is
-still large ships many entries under the distributed join, so the
-single-site InvertedCache plan wins when that table is available).
+asked to choose — the **strategy**. Strategy choice has two modes:
+
+* the legacy two-way threshold (a query whose rarest posting list is
+  still large ships many entries under the distributed join, so the
+  single-site InvertedCache plan wins when that table is available), or
+* the cost-based four-way choice: construct the planner with a
+  :class:`~repro.pier.optimizer.CostBasedOptimizer` and ``strategy=None``
+  plans price DISTRIBUTED_JOIN, SEMI_JOIN, BLOOM_JOIN and INVERTED_CACHE
+  from the same posting statistics and take the cheapest.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.common.errors import PlanError
 from repro.pier.catalog import Catalog
 from repro.pier.query import DistributedPlan, JoinStrategy, PlanStage
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.pier.optimizer import CostBasedOptimizer
 
 #: batch-size bounds the planner chooses within (tuples per exchange batch)
 MIN_BATCH_SIZE = 4
@@ -31,9 +42,17 @@ INVERTED_CACHE_THRESHOLD = 192
 class KeywordPlanner:
     """Builds distributed plans for conjunctive keyword queries."""
 
-    def __init__(self, catalog: Catalog, posting_table: str = "Inverted"):
+    def __init__(
+        self,
+        catalog: Catalog,
+        posting_table: str = "Inverted",
+        optimizer: "CostBasedOptimizer | None" = None,
+    ):
         self.catalog = catalog
         self.posting_table = posting_table
+        #: when set, ``strategy=None`` plans take the cost-based four-way
+        #: choice instead of the legacy two-way threshold
+        self.optimizer = optimizer
 
     def posting_size(self, keyword: str) -> int:
         """Size of ``keyword``'s posting list at its hosting node.
@@ -63,18 +82,29 @@ class KeywordPlanner:
         return max(MIN_BATCH_SIZE, min(MAX_BATCH_SIZE, power))
 
     def choose_strategy(self, sizes: dict[str, int]) -> JoinStrategy:
-        """Pick the cheaper Section 3.2 strategy from posting-size stats.
+        """Pick a strategy from posting-size statistics.
 
-        A single-term query ships nothing, so the distributed join always
-        wins. For multi-term queries the join ships at least the smallest
-        posting list between sites; once that exceeds
+        With a :class:`~repro.pier.optimizer.CostBasedOptimizer` attached,
+        all four strategies are priced by the byte-cost model and the
+        cheapest wins. Otherwise the legacy two-way rule applies: a
+        single-term query ships nothing, so the distributed join always
+        wins; for multi-term queries the join ships at least the smallest
+        posting list between sites, and once that exceeds
         ``INVERTED_CACHE_THRESHOLD`` entries, resolving the query at the
         single InvertedCache site is cheaper — when that table exists.
         """
+        if self.optimizer is not None:
+            return self.optimizer.choose(sizes)
         if "InvertedCache" not in self.catalog or len(sizes) < 2:
             return JoinStrategy.DISTRIBUTED_JOIN
         if min(sizes.values(), default=0) >= INVERTED_CACHE_THRESHOLD:
-            return JoinStrategy.INVERTED_CACHE
+            # Same coverage policy as the cost-based optimizer: a
+            # registered-but-empty (or partially published) cache would
+            # silently drop answers.
+            from repro.pier.optimizer import inverted_cache_covers
+
+            if inverted_cache_covers(self.catalog, sizes):
+                return JoinStrategy.INVERTED_CACHE
         return JoinStrategy.DISTRIBUTED_JOIN
 
     def plan(
@@ -91,9 +121,13 @@ class KeywordPlanner:
         remotely (the rest become local substring filters), and picking the
         rarest term minimises the rows the filters must consider.
 
-        ``strategy=None`` asks the planner to choose between the two
-        Section 3.2 strategies from its posting-size statistics
-        (:meth:`choose_strategy`).
+        ``strategy=None`` asks the planner to choose a strategy from its
+        posting-size statistics (:meth:`choose_strategy`) — the four-way
+        cost-based choice when an optimizer is attached, the legacy
+        two-way threshold otherwise. The semi-join and Bloom-join
+        strategies reuse the distributed join's stage chain (same sites,
+        same smallest-first order); only what ships between the sites
+        differs.
         """
         if not keywords:
             raise PlanError("keyword query needs at least one term")
@@ -121,4 +155,9 @@ class KeywordPlanner:
             query_node=query_node,
             batch_size=self.choose_batch_size(sizes) if sizes else None,
             posting_sizes=sizes,
+            bloom_fp_rate=(
+                self.optimizer.config.bloom_fp_rate
+                if self.optimizer is not None
+                else DistributedPlan.bloom_fp_rate
+            ),
         )

@@ -13,12 +13,45 @@ from enum import Enum
 
 
 class JoinStrategy(Enum):
-    """The two query-processing strategies of Section 3.2."""
+    """Query-processing strategies: Section 3.2's two plus the PIER
+    lineage's bandwidth-saving join rewrites (cost-picked by
+    :mod:`repro.pier.optimizer`).
+
+    Strategy matrix — what ships between sites, and when each wins:
+
+    ===================  ==============================  =======================
+    strategy             bytes shipped site-to-site      when it wins
+    ===================  ==============================  =======================
+    DISTRIBUTED_JOIN     full framed posting tuples      single-term queries
+                         (~531 B/entry)                  (nothing ships at all)
+    SEMI_JOIN            packed fileID digests           rare∧very-popular mixes
+                         (~20 B/entry)                   (digest of the rare
+                                                         list is tiny; Bloom FP
+                                                         traffic on the huge
+                                                         list would dominate)
+    BLOOM_JOIN           one Bloom filter (~1.2 B/entry  multi-term queries with
+                         at 1% FP) + digests of the      comparable list sizes
+                         *probable* matches only         (even the rarest list
+                                                         is worth compressing)
+    INVERTED_CACHE       nothing (single-site            very popular terms —
+                         substring filtering)            when the InvertedCache
+                                                         table was published
+    ===================  ==============================  =======================
+    """
 
     #: Distributed symmetric-hash-join over Inverted posting lists (Fig. 2).
     DISTRIBUTED_JOIN = "distributed_join"
     #: Single-site substring filtering over InvertedCache tuples (Fig. 3).
     INVERTED_CACHE = "inverted_cache"
+    #: Symmetric semi-join: ship packed fileID digests down the chain
+    #: instead of framed posting tuples; payloads (Item tuples) are
+    #: fetched second, only for surviving fileIDs.
+    SEMI_JOIN = "semi_join"
+    #: Bloom join: ship a Bloom filter built from the rarest posting list,
+    #: then digests of only the *probable* matches; the filter site
+    #: verifies candidates exactly, so false positives cost bytes but can
+    #: never change the answer set.
+    BLOOM_JOIN = "bloom_join"
 
 
 @dataclass(frozen=True)
@@ -42,6 +75,9 @@ class DistributedPlan:
     batch_size: int | None = None
     #: per-keyword posting-list sizes the planner observed, when it probed
     posting_sizes: dict[str, int] | None = None
+    #: target false-positive rate for the Bloom join's filter (ignored by
+    #: the other strategies)
+    bloom_fp_rate: float = 0.01
 
     def __post_init__(self) -> None:
         if not self.stages:
@@ -94,8 +130,12 @@ class QueryStats:
     #: batch/pipeline metadata (pipelined executions only)
     pipeline: "PipelineStats | None" = None
     results: int = 0
-    #: posting-list entries shipped between sites (Section 5's key metric)
+    #: posting-list entries shipped between sites (Section 5's key metric);
+    #: for SEMI_JOIN/BLOOM_JOIN these ship as packed key digests, so the
+    #: same entry count costs far fewer bytes
     posting_entries_shipped: int = 0
+    #: Bloom-filter payload bytes shipped (BLOOM_JOIN only)
+    filter_bytes: int = 0
     #: overlay messages used end to end
     messages: int = 0
     #: bytes on the wire end to end

@@ -13,6 +13,7 @@ from repro.common.errors import PlanError
 from repro.dht.network import DhtNetwork
 from repro.pier.catalog import Catalog
 from repro.pier.executor import DistributedExecutor
+from repro.pier.optimizer import CostBasedOptimizer
 from repro.pier.planner import KeywordPlanner
 from repro.pier.query import DistributedPlan, JoinStrategy, QueryStats
 from repro.pier.schema import Row
@@ -44,12 +45,21 @@ class SearchEngine:
         catalog: Catalog,
         inverted_cache: bool = False,
         mode: str = "atomic",
+        optimizer: CostBasedOptimizer | bool | None = None,
     ):
         self.network = network
         self.catalog = catalog
         self.inverted_cache = inverted_cache
         self.mode = mode
-        self.planner = KeywordPlanner(catalog)
+        #: ``True`` builds a default cost-based optimizer; with one
+        #: attached, ``strategy=None`` queries price all four join
+        #: strategies and execute the cheapest. The optimizer targets
+        #: Inverted-index deployments — an InvertedCache deployment has
+        #: already made its strategy choice, so it is ignored there.
+        if optimizer is True:
+            optimizer = CostBasedOptimizer(catalog)
+        self.optimizer = optimizer or None
+        self.planner = KeywordPlanner(catalog, optimizer=self.optimizer)
         self.executor = DistributedExecutor(network, catalog, mode=mode)
 
     def prepare(
@@ -74,6 +84,10 @@ class SearchEngine:
         if query_node is None:
             query_node = self.network.random_node_id()
         if strategy is None:
+            if self.optimizer is not None and not self.inverted_cache:
+                # Cost-based choice: the planner prices all four
+                # strategies from its posting statistics.
+                return self.planner.plan(normalised, query_node, strategy=None)
             strategy = (
                 JoinStrategy.INVERTED_CACHE
                 if self.inverted_cache

@@ -1,8 +1,9 @@
 """Tests for the Bloom filter."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
-from repro.common.bloom import BloomFilter
+from repro.common.bloom import BloomFilter, bloom_for_keys
 
 
 class TestBasics:
@@ -70,3 +71,60 @@ class TestValidation:
         bloom.update(terms)
         explicit_bytes = sum(len(t) for t in terms)
         assert bloom.size_bytes < explicit_bytes / 5
+
+
+class TestSizingInvariants:
+    """Sizing invariants the Bloom join's cost model depends on."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(items=st.integers(min_value=1, max_value=100_000))
+    def test_more_items_never_shrink_the_filter(self, items):
+        smaller = BloomFilter.with_capacity(items, 0.01)
+        larger = BloomFilter.with_capacity(items * 2, 0.01)
+        assert larger.num_bits >= smaller.num_bits
+        assert larger.size_bytes >= smaller.size_bytes
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        items=st.integers(min_value=1, max_value=10_000),
+        fp=st.floats(min_value=0.001, max_value=0.5),
+    )
+    def test_tighter_fp_target_never_shrinks_the_filter(self, items, fp):
+        loose = BloomFilter.with_capacity(items, fp)
+        tight = BloomFilter.with_capacity(items, fp / 2)
+        assert tight.num_bits >= loose.num_bits
+        assert tight.num_hashes >= loose.num_hashes
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        items=st.integers(min_value=1, max_value=5_000),
+        fp=st.floats(min_value=0.001, max_value=0.9),
+    )
+    def test_size_bytes_is_ceil_of_bits(self, items, fp):
+        bloom = BloomFilter.with_capacity(items, fp)
+        assert bloom.size_bytes == (bloom.num_bits + 7) // 8
+        assert bloom.size_bytes * 8 >= bloom.num_bits
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        keys=st.lists(st.text(min_size=1, max_size=30), max_size=200),
+        fp=st.floats(min_value=0.005, max_value=0.5),
+    )
+    def test_bloom_for_keys_never_false_negative(self, keys, fp):
+        """The Bloom join's correctness rests on this: every inserted key
+        is found, whatever the sizing."""
+        bloom = bloom_for_keys(keys, fp)
+        for key in keys:
+            assert key in bloom
+
+    def test_bloom_for_keys_empty_is_minimal_and_matches_nothing(self):
+        bloom = bloom_for_keys([])
+        assert bloom.size_bytes == 1
+        assert "anything" not in bloom
+
+    def test_bloom_for_keys_sizes_for_the_key_count(self):
+        keys = [f"key{i}" for i in range(500)]
+        bloom = bloom_for_keys(keys, 0.01)
+        reference = BloomFilter.with_capacity(500, 0.01)
+        assert bloom.num_bits == reference.num_bits
+        assert bloom.num_hashes == reference.num_hashes

@@ -1,12 +1,15 @@
-"""Property suite: the pipelined dataflow is observably the atomic executor.
+"""Property suite: every strategy, on every runtime, is the same query.
 
-For seeded random catalogs and random 1-4 keyword conjunctions, under both
-Section 3.2 strategies, the streaming runtime must return the *identical
-result set* and ship the *identical posting entries*. With stage-granular
+For seeded random catalogs and random 1-4 keyword conjunctions, the full
+strategy-equivalence matrix must hold: all four join strategies
+(distributed join, semi-join, Bloom join, InvertedCache) executed on both
+runtimes (atomic executor and streaming dataflow) return the *identical
+answer set* for the same seed and terms. Per strategy, the streaming
+runtime must also ship the identical posting entries; with stage-granular
 batches (``batch_size=None``) its byte and message totals are exactly the
-atomic executor's; with finite batches the payload is unchanged and the
-only delta is the per-batch routing headers, which we reconcile to the
-byte (no tolerance) from the shipped-batch counts.
+atomic executor's, and with finite batches the payload is unchanged and
+the only delta is the per-batch routing headers, which we reconcile to
+the byte (no tolerance) from the shipped-batch counts.
 """
 
 import random
@@ -21,12 +24,18 @@ from repro.pier.planner import KeywordPlanner
 from repro.pier.query import JoinStrategy
 from repro.piersearch.publisher import Publisher
 
+#: no word is a substring of another, so InvertedCache substring
+#: filtering and exact-token joins agree on every query
 VOCABULARY = [
     "nebula", "quasar", "aurora", "meteor", "eclipse",
     "klorena", "velid", "montia", "darel", "bonzo",
 ]
 
 NUM_SEEDS = 20
+
+#: derived from the enum so a future strategy cannot silently stay out
+#: of the equivalence matrix
+ALL_STRATEGIES = tuple(JoinStrategy)
 
 
 def build_world(seed: int):
@@ -58,8 +67,19 @@ def queries_for(rng: random.Random, count: int = 3):
         yield rng.sample(VOCABULARY, rng.randint(1, 4))
 
 
+def plan_for(catalog, strategy, terms, query_node):
+    table = (
+        "InvertedCache" if strategy is JoinStrategy.INVERTED_CACHE else "Inverted"
+    )
+    planner = KeywordPlanner(catalog, posting_table=table)
+    plan = planner.plan(terms, query_node, strategy=strategy)
+    plan.batch_size = None  # executor config decides per runtime
+    return plan
+
+
 @pytest.mark.parametrize("seed", range(NUM_SEEDS))
-def test_pipelined_equals_atomic(seed):
+def test_strategy_matrix_equivalence(seed):
+    """4 strategies x 3 runtimes: one answer set, reconciled accounting."""
     rng, network, catalog = build_world(seed)
     atomic = DistributedExecutor(network, catalog)
     stage_granular = DataflowExecutor(
@@ -70,28 +90,30 @@ def test_pipelined_equals_atomic(seed):
     )
     header = network.cost_model.header_bytes
     for terms in queries_for(rng):
-        for strategy in (JoinStrategy.DISTRIBUTED_JOIN, JoinStrategy.INVERTED_CACHE):
-            table = (
-                "InvertedCache"
-                if strategy is JoinStrategy.INVERTED_CACHE
-                else "Inverted"
-            )
-            planner = KeywordPlanner(catalog, posting_table=table)
-            plan = planner.plan(terms, network.random_node_id(), strategy=strategy)
-            plan.batch_size = None  # executor config decides per runtime
+        query_node = network.random_node_id()
+        reference = None
+        for strategy in ALL_STRATEGIES:
+            plan = plan_for(catalog, strategy, terms, query_node)
             rows_atomic, stats_atomic = atomic.execute(plan)
             rows_stage, stats_stage = stage_granular.execute(plan)
             rows_batched, stats_batched = batched.execute(plan)
 
-            # Identical result sets, identical entries shipped — always.
-            assert result_key(rows_stage) == result_key(rows_atomic)
-            assert result_key(rows_batched) == result_key(rows_atomic)
+            # One answer set across the whole matrix — every strategy,
+            # every runtime, always.
+            if reference is None:
+                reference = result_key(rows_atomic)
+            assert result_key(rows_atomic) == reference
+            assert result_key(rows_stage) == reference
+            assert result_key(rows_batched) == reference
+
+            # Within a strategy, both runtimes ship identical entries.
             assert (
                 stats_stage.posting_entries_shipped
                 == stats_batched.posting_entries_shipped
                 == stats_atomic.posting_entries_shipped
             )
             assert stats_stage.per_stage_entries == stats_atomic.per_stage_entries
+            assert stats_stage.filter_bytes == stats_atomic.filter_bytes
 
             # Stage-granular batches: byte-identical totals.
             assert stats_stage.bytes == stats_atomic.bytes
@@ -106,18 +128,20 @@ def test_pipelined_equals_atomic(seed):
 
 
 def test_equivalence_holds_for_results_across_batch_sizes():
-    """One deeper check: every batch size returns the same answer set."""
+    """One deeper check: every batch size returns the same answer set,
+    for every strategy."""
     rng, network, catalog = build_world(4242)
     atomic = DistributedExecutor(network, catalog)
-    planner = KeywordPlanner(catalog)
-    plan = planner.plan(["nebula", "quasar"], network.random_node_id())
-    plan.batch_size = None
-    rows_atomic, _ = atomic.execute(plan)
-    for batch_size in (1, 2, 7, 64, None):
-        dataflow = DataflowExecutor(
-            network, catalog, config=DataflowConfig(batch_size=batch_size), rng=9
-        )
-        rows, stats = dataflow.execute(plan)
-        assert result_key(rows) == result_key(rows_atomic)
-        assert stats.mode == "pipelined"
-        assert stats.pipeline.batch_size == batch_size
+    query_node = network.random_node_id()
+    for strategy in ALL_STRATEGIES:
+        plan = plan_for(catalog, strategy, ["nebula", "quasar"], query_node)
+        rows_atomic, _ = atomic.execute(plan)
+        for batch_size in (1, 2, 7, 64, None):
+            dataflow = DataflowExecutor(
+                network, catalog, config=DataflowConfig(batch_size=batch_size), rng=9
+            )
+            rows, stats = dataflow.execute(plan)
+            assert result_key(rows) == result_key(rows_atomic)
+            assert stats.mode == "pipelined"
+            assert stats.pipeline.batch_size == batch_size
+            assert stats.strategy is strategy

@@ -121,10 +121,29 @@ class TestStrategyChoice:
         sizes = {"a": INVERTED_CACHE_THRESHOLD * 2, "b": INVERTED_CACHE_THRESHOLD * 2}
         assert planner.choose_strategy(sizes) is JoinStrategy.DISTRIBUTED_JOIN
 
+    def test_registered_but_empty_cache_is_never_chosen(self, world):
+        """The publisher registers every schema up front, so an
+        Inverted-only world still has an (empty) InvertedCache table;
+        choosing it would silently answer with the empty set."""
+        _, catalog, _ = world
+        planner = KeywordPlanner(catalog)
+        sizes = {"a": INVERTED_CACHE_THRESHOLD, "b": INVERTED_CACHE_THRESHOLD + 5}
+        assert planner.choose_strategy(sizes) is JoinStrategy.DISTRIBUTED_JOIN
+
     def test_popular_conjunction_prefers_inverted_cache(self, world):
         _, catalog, _ = world
         planner = KeywordPlanner(catalog)
         sizes = {"a": INVERTED_CACHE_THRESHOLD, "b": INVERTED_CACHE_THRESHOLD + 5}
+        # Once the cache actually covers the rarest term, it wins.
+        cache = catalog.table("InvertedCache")
+        for index in range(INVERTED_CACHE_THRESHOLD):
+            cache.publish(
+                {
+                    "keyword": "a",
+                    "fileID": f"file{index:04d}",
+                    "fulltext": f"a b file {index}",
+                }
+            )
         assert planner.choose_strategy(sizes) is JoinStrategy.INVERTED_CACHE
         rare = {"a": 2, "b": INVERTED_CACHE_THRESHOLD + 5}
         assert planner.choose_strategy(rare) is JoinStrategy.DISTRIBUTED_JOIN
