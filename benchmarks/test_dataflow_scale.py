@@ -12,89 +12,21 @@ never later than pipeline completion, strictly earlier for a measurable
 share), answer coverage, and throughput.
 
 ``test_dataflow_smoke`` is the single-iteration CI smoke variant.
+
+The scenario itself (corpus, seeds, churn schedule, query mix) lives in
+:func:`repro.experiments.ext_runtime.build_dataflow_scale` — the same
+construction the ``ext-runtime`` experiment times for
+``BENCH_runtime.json``, so the throughput pinned here and the recorded
+runtime baseline always measure the same workload.
 """
 
-import math
-
-from repro.common.rng import make_rng
-from repro.dht.churn import ChurnProcess
-from repro.dht.network import DhtNetwork
-from repro.hybrid.engine import HybridQueryEngine, RaceConfig
-from repro.hybrid.ultrapeer import HybridUltrapeer
-from repro.pier.catalog import Catalog
-from repro.piersearch.publisher import Publisher
-from repro.piersearch.search import SearchEngine
-from repro.sim.engine import Simulator
+from repro.experiments.ext_runtime import build_dataflow_scale
 
 NUM_QUERIES = 5000
-NUM_NODES = 64
-NUM_FILES = 200
-SUBMIT_WINDOW = 50.0
-TIMEOUT = 30.0
 
 
 def _build_and_run(num_queries=NUM_QUERIES, churn=True):
-    dht = DhtNetwork(rng=17)
-    nodes = dht.populate(NUM_NODES)
-    catalog = Catalog(dht)
-    publisher = Publisher(dht, catalog)
-    search = SearchEngine(dht, catalog)
-    sim = Simulator()
-    engine = HybridQueryEngine(
-        sim,
-        dht,
-        config=RaceConfig(retry_backoff=1.0, batch_size=2),
-        rng=7,
-    )
-    hybrids = [
-        HybridUltrapeer(
-            ultrapeer_id=index,
-            dht_node_id=node.node_id,
-            publisher=publisher,
-            search_engine=search,
-            gnutella_timeout=TIMEOUT,
-        )
-        for index, node in enumerate(nodes[:8])
-    ]
-    # Published corpus: every rare query below has real multi-batch joins
-    # (each keyword pair matches several files, so posting lists span
-    # multiple size-2 exchange batches).
-    for index in range(NUM_FILES):
-        publisher.publish_file(
-            filename=f"rare nebula group{index % 25:02d} track{index:04d}.mp3",
-            filesize=4096 + index,
-            ip_address=f"10.1.{index // 250}.{index % 250}",
-            port=6346,
-            origin=nodes[index % NUM_NODES].node_id,
-        )
-
-    if churn:
-        # Departures land while thousands of dataflows are in flight; every
-        # other schedule leaves tables unstabilized so walks and batch sends
-        # hit stale fingers.
-        process = ChurnProcess(dht, rng=29, failure_fraction=0.4)
-        process.schedule(sim, interval=6.0, steps=10, stabilize=True)
-        process.schedule(sim, interval=9.0, steps=6, stabilize=False)
-    else:
-        process = None
-
-    rng = make_rng(23)
-    window = SUBMIT_WINDOW * (num_queries / NUM_QUERIES)
-    for index in range(num_queries):
-        hybrid = hybrids[index % len(hybrids)]
-        if index % 4 == 0:
-            terms = ["popular", "hit"]
-            depths = [1.0, 2.0, 2.0]
-        else:
-            group = rng.randrange(25)
-            terms = [f"group{group:02d}", "nebula"]
-            depths = [math.inf]
-        sim.schedule_at(
-            index * (window / num_queries),
-            lambda hybrid=hybrid, terms=terms, depths=depths: (
-                hybrid.handle_leaf_query_simulated(engine, terms, depths, stop_ttl=3)
-            ),
-        )
+    sim, engine, dht, process = build_dataflow_scale(num_queries, churn)
     sim.run()
     return engine, dht, process
 

@@ -52,7 +52,22 @@ class LookupResult:
 
 
 class DhtNetwork:
-    """A complete DHT: nodes, routing, storage, and replication."""
+    """A complete DHT: nodes, routing, storage, and replication.
+
+    **Route cache invariant.** Between membership changes, routing over
+    stabilized tables is a pure function of ``(origin, owner region)``:
+    every key owned by the same node — distinguishing the owner's own id
+    from the interior of its interval, the only two cases Chord's
+    ``closest_preceding_finger`` can tell apart — follows the identical
+    finger path from a given origin. :meth:`lookup` therefore memoizes
+    its hop paths under an epoch stamp (:attr:`membership_version`,
+    bumped on every join/leave, including every churn step). A cache hit
+    replays the stored path verbatim — same hops, same owner, so callers
+    charge byte-for-byte identical costs — and a stale entry can never be
+    served because any membership change moves the epoch and flushes the
+    cache. The hop-by-hop :meth:`iter_lookup` walk is deliberately *not*
+    cached: it exists to observe churn mid-walk.
+    """
 
     def __init__(
         self,
@@ -60,6 +75,7 @@ class DhtNetwork:
         successor_count: int = 8,
         cost_model: CostModel | None = None,
         rng: random.Random | int | None = None,
+        route_cache: bool = True,
     ):
         if replication < 1:
             raise ValueError(f"replication must be >= 1, got {replication}")
@@ -74,6 +90,15 @@ class DhtNetwork:
         #: bumped on every join/leave; cheap epoch stamp for caches (e.g.
         #: the catalog's posting-size statistics) that must not survive churn
         self.membership_version = 0
+        # --- epoch-stamped route cache ---------------------------------
+        #: memoizes :meth:`lookup` paths between membership changes (see
+        #: ``route_cache`` in the class docstring); ``route_cache=False``
+        #: routes every lookup hop by hop, for equivalence testing
+        self.route_cache_enabled = route_cache
+        self._route_cache: dict[tuple[int, int, bool], tuple[int, ...]] = {}
+        self._route_cache_epoch = -1
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
         # --- replica-aware read path (repro.cache.replication) --------
         #: called as (key, serving_node) on every read-target resolution
         self.read_listener: Callable[[int, int], None] | None = None
@@ -242,6 +267,13 @@ class DhtNetwork:
     def lookup(self, key: int, origin: int | None = None) -> LookupResult:
         """Route ``key`` from ``origin`` to its owner using local state only.
 
+        With the route cache enabled (the default), repeated lookups of
+        keys in the same owner region from the same origin replay the
+        memoized hop path in O(1) instead of re-walking the ring — with
+        identical hops, path, and owner, so all byte accounting derived
+        from the result is unchanged (see the class docstring for the
+        epoch invariant that keeps cached routes honest across churn).
+
         Raises :class:`DhtError` if routing does not converge or dead-ends
         (which, with stabilized tables, should never happen). A returned
         result always names a node that actually owns ``key`` — a dead-end
@@ -255,6 +287,24 @@ class DhtNetwork:
             origin = self.random_node_id()
         if origin not in self.nodes:
             raise NodeNotFoundError(f"unknown origin {origin:x}")
+        if not self.route_cache_enabled:
+            return self._walk(key, origin)
+        if self._route_cache_epoch != self.membership_version:
+            self._route_cache.clear()
+            self._route_cache_epoch = self.membership_version
+        owner = responsible_node(self._ring, key)
+        cache_key = (origin, owner, key == owner)
+        cached = self._route_cache.get(cache_key)
+        if cached is not None:
+            self.route_cache_hits += 1
+            return LookupResult(key=key, owner=cached[-1], path=list(cached))
+        result = self._walk(key, origin)
+        self._route_cache[cache_key] = tuple(result.path)
+        self.route_cache_misses += 1
+        return result
+
+    def _walk(self, key: int, origin: int) -> LookupResult:
+        """The uncached hop-by-hop greedy walk behind :meth:`lookup`."""
         max_hops = MAX_HOPS_FACTOR * max(1, self.size).bit_length() + 8
         current = origin
         path = [current]

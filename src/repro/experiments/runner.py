@@ -20,6 +20,7 @@ from repro.experiments import (
     ext_dataflow,
     ext_horizon_load,
     ext_optimizer,
+    ext_runtime,
     fig04_replication,
     fig05_result_cdf,
     fig06_union_cdf,
@@ -60,6 +61,7 @@ EXPERIMENTS = {
     "ext-cache": ext_cache_effectiveness.run,
     "ext-dataflow": ext_dataflow.run,
     "ext-optimizer": ext_optimizer.run,
+    "ext-runtime": ext_runtime.run,
 }
 
 

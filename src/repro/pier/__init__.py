@@ -31,6 +31,7 @@ INVERTED_CACHE     nothing (single-site substring    whenever that table
 """
 
 from repro.pier.schema import Row, Schema, row_identity
+from repro.pier.rows import RowBatch
 from repro.pier.catalog import Catalog, TableHandle
 from repro.pier.operators import (
     BloomProbe,
@@ -54,6 +55,7 @@ from repro.pier.planner import KeywordPlanner
 
 __all__ = [
     "Row",
+    "RowBatch",
     "Schema",
     "row_identity",
     "Catalog",

@@ -39,6 +39,13 @@ over the atomic lump sum — the batch-size sweep in
 ``BENCH_dataflow.json`` measures that latency/bytes trade-off, and with
 ``batch_size=None`` (one batch per edge) the two runtimes charge
 byte-identical totals.
+
+In-memory, exchange batches are **compact**: a shared schema tuple plus
+one value tuple per row (:class:`repro.pier.rows.RowBatch`), converted to
+dict rows only at query-result boundaries (answer delivery and Item
+fetches). Wire costs are ``per_tuple_bytes * len(batch)`` either way, so
+the representation never shows up in the accounting — only in wall-clock
+speed.
 """
 
 from __future__ import annotations
@@ -54,12 +61,13 @@ from repro.common.units import CostModel
 from repro.dht.network import DhtNetwork
 from repro.pier.catalog import Catalog
 from repro.pier.operators import (
-    BloomProbe,
     SpillSink,
     SubstringFilter,
     Scan,
     SymmetricHashJoin,
+    bloom_contains_key,
 )
+from repro.pier.rows import RowBatch
 from repro.pier.query import (
     DistributedPlan,
     JoinStrategy,
@@ -95,7 +103,7 @@ def fetch_items_charged(
     network: DhtNetwork,
     catalog: Catalog,
     cost_model: CostModel,
-    fileid_rows: list[Row],
+    file_ids: list,
     query_node: int,
     charge: Callable[[str, int, int], None],
 ) -> tuple[list[Row], int]:
@@ -104,14 +112,14 @@ def fetch_items_charged(
     The single source of truth for item-fetch accounting — the atomic
     executor and the streaming dataflow both call it, which is what keeps
     their byte totals provably identical (pinned by the equivalence
-    suite). Returns (item rows, max routing hops across the parallel
-    fetches — the one that bounds latency).
+    suite). Takes bare fileID values (the dataflow's compact batches never
+    materialise fileID dicts). Returns (item rows, max routing hops across
+    the parallel fetches — the one that bounds latency).
     """
     items = catalog.table("Item")
     results: list[Row] = []
     max_fetch_hops = 0
-    for row in fileid_rows:
-        file_id = row["fileID"]
+    for file_id in file_ids:
         host = items.host_of(file_id)
         hops = route_hops(network, query_node, host)
         max_fetch_hops = max(max_fetch_hops, hops)
@@ -325,10 +333,12 @@ class _DhtSpillSink(SpillSink):
 class _Exchange:
     """One edge of the dataflow: batches from ``source`` to ``target_site``.
 
-    Buffers offered tuples into fixed-size batches, paces sends
-    ``send_interval`` apart, charges each batch on send, and delivers a
-    free end-of-stream control event after the last data arrival (the
-    marker piggybacks on the final batch, so it costs no extra bytes).
+    Buffers offered value tuples (one per row, under the edge's fixed
+    ``columns`` schema — see :class:`~repro.pier.rows.RowBatch`) into
+    fixed-size batches, paces sends ``send_interval`` apart, charges each
+    batch on send, and delivers a free end-of-stream control event after
+    the last data arrival (the marker piggybacks on the final batch, so
+    it costs no extra bytes).
     """
 
     def __init__(
@@ -338,13 +348,14 @@ class _Exchange:
         target_site: int,
         category: str,
         per_tuple_bytes: int,
-        deliver: Callable[[list[Row]], None],
+        deliver: Callable[[RowBatch], None],
         deliver_eos: Callable[[], None],
         direct: bool = False,
         from_join: bool = False,
         eager: bool = False,
         ready_time: float = 0.0,
         count_entries: bool = False,
+        columns: tuple[str, ...] = ("fileID",),
     ):
         self.run = run
         self.source_site = source_site
@@ -354,6 +365,7 @@ class _Exchange:
         self.deliver = deliver
         self.deliver_eos = deliver_eos
         self.direct = direct
+        self.columns = columns
         #: shipped tuples count as posting entries (rehash and digest
         #: edges; answer edges and the Bloom filter leg ship no entries)
         self.count_entries = count_entries
@@ -364,8 +376,8 @@ class _Exchange:
         #: batching answers only delays what the user is waiting for
         self.eager = eager
         self.ready_time = ready_time
-        self._buffer: list[Row] = []
-        self._queue: list[list[Row]] = []
+        self._buffer: list[tuple] = []
+        self._queue: list[list[tuple]] = []
         self._sending = False
         self._closed = False
         self._eos_sent = False
@@ -375,13 +387,14 @@ class _Exchange:
         self.batches_sent = 0
         self._last_arrival = 0.0
 
-    def offer(self, rows: list[Row]) -> None:
+    def offer(self, values: list[tuple]) -> None:
+        """Queue value tuples (shaped by this edge's ``columns``) to ship."""
         if self.eager:
-            if rows:
-                self._queue.append(list(rows))
+            if values:
+                self._queue.append(list(values))
                 self._pump()
             return
-        self._buffer.extend(rows)
+        self._buffer.extend(values)
         threshold = self.run.batch_size
         if threshold is None:
             return  # stage granularity: everything ships on close
@@ -443,9 +456,9 @@ class _Exchange:
             if self._closed:
                 self._finish_stream()
 
-    def _arrive(self, batch: list[Row]) -> None:
+    def _arrive(self, batch: list[tuple]) -> None:
         self.run.batches_delivered += 1
-        self.deliver(batch)
+        self.deliver(RowBatch(self.columns, batch))
 
     # -- end of stream ---------------------------------------------------
 
@@ -606,6 +619,12 @@ class _QueryRun:
         if rehash_tuple is None:
             rehash_tuple = cost.rehash_tuple_bytes()
         answer_tuple = cost.tuple_bytes(cost.fileid_bytes)
+        # A single-stage plan answers straight from the scan, so (like the
+        # atomic executor) its result rows are full posting entries, not
+        # join survivors — the answer edge carries the wider schema.
+        # ``project_keys`` overrides that: a key-projected source ships
+        # bare fileIDs whatever the stage count, and the schema must say so.
+        single_stage = len(plan.stages) == 1 and not project_keys
         # Build back to front: each stage's output edge must exist first.
         answer = _Exchange(
             self,
@@ -618,6 +637,7 @@ class _QueryRun:
             direct=True,
             from_join=len(plan.stages) > 1,
             eager=True,
+            columns=("keyword", "fileID") if single_stage else ("fileID",),
         )
         downstream = answer
         for index in range(len(plan.stages) - 1, 0, -1):
@@ -649,11 +669,16 @@ class _QueryRun:
                 return
             self.stats.per_stage_entries.append(len(rows))
             if project_keys:
-                rows = [
-                    {"fileID": key}
-                    for key in dict.fromkeys(row["fileID"] for row in rows)
+                values = [
+                    (key,) for key in dict.fromkeys(row["fileID"] for row in rows)
                 ]
-            source_out.offer(rows)
+            elif single_stage:
+                # Full posting tuples: these go straight to the answer
+                # edge, whose result rows must match the atomic runtime.
+                values = [(row["keyword"], row["fileID"]) for row in rows]
+            else:
+                values = [(row["fileID"],) for row in rows]
+            source_out.offer(values)
             source_out.close()
 
         self.group.schedule_at(ready[0], activate_source)
@@ -804,10 +829,8 @@ class _QueryRun:
             operator = Scan(rows)
             for keyword in plan.keywords[1:]:
                 operator = SubstringFilter(operator, column="fulltext", needle=keyword)
-            survivors: dict[object, Row] = {}
-            for row in operator:
-                survivors.setdefault(row["fileID"], {"fileID": row["fileID"]})
-            answer.offer(list(survivors.values()))
+            survivors = dict.fromkeys(row["fileID"] for row in operator)
+            answer.offer([(key,) for key in survivors])
             answer.close()
 
         self.group.schedule_at(ready[0], activate_site)
@@ -820,14 +843,16 @@ class _QueryRun:
 
     # -- answers ---------------------------------------------------------
 
-    def _deliver_answer(self, batch: list[Row]) -> None:
+    def _deliver_answer(self, batch: RowBatch) -> None:
         if self.query.done:
             return
         if not self.fetch_items:
-            self._results_ready(batch, len(batch))
+            # Query-result boundary: the only place answer tuples become
+            # dict rows when Item fetching is off.
+            self._results_ready(batch.to_rows(), len(batch))
             return
         try:
-            items, fetch_hops = self._fetch_items(batch)
+            items, fetch_hops = self._fetch_items(batch.column("fileID"))
         except DhtError as error:
             self.fail(error)
             return
@@ -842,13 +867,13 @@ class _QueryRun:
         self.outstanding_fetches -= 1
         self._results_ready(items, answer_count)
 
-    def _fetch_items(self, fileid_rows: list[Row]) -> tuple[list[Row], int]:
+    def _fetch_items(self, file_ids: list) -> tuple[list[Row], int]:
         """Charge and perform Item fetches exactly like the atomic path."""
         results, batch_max_hops = fetch_items_charged(
             self.executor.network,
             self.executor.catalog,
             self.executor.cost_model,
-            fileid_rows,
+            file_ids,
             self.plan.query_node,
             self._charge,
         )
@@ -1003,9 +1028,12 @@ class _BloomProbeStage:
             self.run.fail(error)
             return
         self.run.stats.per_stage_entries.append(len(rows))
-        probe = BloomProbe(Scan(rows), column="fileID", bloom=bloom)
-        candidates = dict.fromkeys(row["fileID"] for row in probe)
-        self.out.offer([{"fileID": key} for key in candidates])
+        # Key-level Bloom probe (the BloomProbe operator's semantics,
+        # without materialising a candidate dict per posting row).
+        candidates = dict.fromkeys(
+            row["fileID"] for row in rows if bloom_contains_key(bloom, row["fileID"])
+        )
+        self.out.offer([(key,) for key in candidates])
         self.out.close()
 
 
@@ -1025,15 +1053,16 @@ class _BloomVerifyStage:
         self.rare_keys: set = set()
         self.emitted: set = set()
 
-    def deliver(self, batch: list[Row]) -> None:
+    def deliver(self, batch: RowBatch) -> None:
         if self.run.query.done:
             return
-        survivors: list[Row] = []
-        for row in batch:
-            key = row["fileID"]
-            if key in self.rare_keys and key not in self.emitted:
-                self.emitted.add(key)
-                survivors.append({"fileID": key})
+        rare_keys = self.rare_keys
+        emitted = self.emitted
+        survivors: list[tuple] = []
+        for (key,) in batch.values:
+            if key in rare_keys and key not in emitted:
+                emitted.add(key)
+                survivors.append((key,))
         if survivors:
             self.out.offer(survivors)
 
@@ -1071,10 +1100,11 @@ class _JoinStage:
         self.activated = True
         rows = self.run._fetch_stage_local("Inverted", self.site, self.keyword)
         self.run.stats.per_stage_entries.append(len(rows))
+        insert_right_key = self.shj.insert_right_key
         for row in rows:
-            self.shj.insert_right(row)
+            insert_right_key(row["fileID"])
 
-    def deliver(self, batch: list[Row]) -> None:
+    def deliver(self, batch: RowBatch) -> None:
         if self.run.query.done:
             return
         if not self.activated:
@@ -1083,13 +1113,14 @@ class _JoinStage:
             except DhtError as error:
                 self.run.fail(error)
                 return
-        survivors: list[Row] = []
-        for row in batch:
-            for match in self.shj.insert_left(row):
-                file_id = match["fileID"]
-                if file_id not in self.emitted:
-                    self.emitted.add(file_id)
-                    survivors.append({"fileID": file_id})
+        # Key-only hot loop: probe/build on bare fileIDs, no dict per row.
+        insert_left_key = self.shj.insert_left_key
+        emitted = self.emitted
+        survivors: list[tuple] = []
+        for (key,) in batch.values:
+            if insert_left_key(key) and key not in emitted:
+                emitted.add(key)
+                survivors.append((key,))
         if survivors:
             self.out.offer(survivors)
 

@@ -453,7 +453,7 @@ class DistributedExecutor:
             self.network,
             self.catalog,
             self.cost_model,
-            fileid_rows,
+            [row["fileID"] for row in fileid_rows],
             query_node,
             lambda category, messages, byte_count: self._charge(
                 stats, category, messages, byte_count

@@ -56,14 +56,16 @@ class Projection(Operator):
         self.columns = columns
 
     def __iter__(self) -> Iterator[Row]:
+        # Signature first, dict only for survivors: duplicate rows are
+        # dropped on the tuple alone, without allocating a dict each.
         seen: set[tuple] = set()
+        columns = self.columns
         for row in self.child:
-            projected = {column: row[column] for column in self.columns}
-            signature = tuple(projected[column] for column in self.columns)
+            signature = tuple(row[column] for column in columns)
             if signature in seen:
                 continue
             seen.add(signature)
-            yield projected
+            yield dict(zip(columns, signature))
 
 
 class SubstringFilter(Operator):
@@ -89,6 +91,15 @@ class SubstringFilter(Operator):
                 yield row
 
 
+def bloom_contains_key(bloom, value: Any) -> bool:
+    """The shared key convention for Bloom probes: values probe by
+    ``str()`` (the filter hashes strings; fileIDs are hex strings
+    already). Both :class:`BloomProbe` and the streaming dataflow's
+    key-level probe stage go through here, so the normalization rule has
+    exactly one home."""
+    return str(value) in bloom
+
+
 class BloomProbe(Operator):
     """Keep rows whose ``column`` value *probably* belongs to ``bloom``.
 
@@ -97,8 +108,8 @@ class BloomProbe(Operator):
     list is probed against it. The output is a superset of the true
     matches — Bloom filters never produce false negatives, so no real
     match is dropped, while false positives survive only until the filter
-    site verifies candidates exactly. Values are probed by ``str()`` (the
-    filter hashes strings; fileIDs are hex strings already).
+    site verifies candidates exactly. Values are probed through
+    :func:`bloom_contains_key`.
     """
 
     def __init__(self, child: Operator, column: str, bloom):
@@ -107,7 +118,9 @@ class BloomProbe(Operator):
         self.bloom = bloom
 
     def __iter__(self) -> Iterator[Row]:
-        return (row for row in self.child if str(row[self.column]) in self.bloom)
+        bloom = self.bloom
+        column = self.column
+        return (row for row in self.child if bloom_contains_key(bloom, row[column]))
 
 
 class HashJoin(Operator):
@@ -185,6 +198,18 @@ class SymmetricHashJoin(Operator):
     it interleaves the two inputs, which exercises the symmetric structure
     while producing the same output set as any arrival order.
 
+    There is also a **key-only fast path**: :meth:`insert_left_key` /
+    :meth:`insert_right_key` consume bare join-key values and return match
+    *counts*. The streaming dataflow uses it because its exchange batches
+    carry single-column key tuples (:mod:`repro.pier.rows`) and its join
+    stages only ever forward the key of a match — the classic dict-merge
+    path would allocate (and immediately discard) one merged dict per
+    match. Build state on this path is a per-key multiplicity, not a row
+    list; spilling still writes ``{column: key}`` rows so spill accounting
+    and the DHT temp-tuple surface are shape-compatible with the dict
+    path. The two APIs must not be mixed on one instance (the first
+    insert pins the mode; mixing raises :class:`TypeError`).
+
     With ``memory_budget`` set, the join holds at most that many rows in
     its in-memory tables; overflow is flushed to ``spill_sink`` (a
     :class:`SpillSink`, by default an in-memory one) and probes transparently
@@ -208,6 +233,9 @@ class SymmetricHashJoin(Operator):
         self.memory_budget = memory_budget
         self.spill_sink = spill_sink or (SpillSink(column) if memory_budget else None)
         self._tables: dict[str, dict[Any, list[Row]]] = {"left": {}, "right": {}}
+        #: key-only fast path build state: join key -> multiplicity
+        self._key_tables: dict[str, dict[Any, int]] = {"left": {}, "right": {}}
+        self._mode: str | None = None  # "rows" or "keys", pinned on first insert
         self._in_memory = {"left": 0, "right": 0}
         # Exposed for tests: peak *in-memory* table sizes during the join.
         self.peak_left_table = 0
@@ -223,40 +251,87 @@ class SymmetricHashJoin(Operator):
         """Consume one right row; returns the matches it completes."""
         return self._insert("right", "left", row)
 
+    def insert_left_key(self, key: Any) -> int:
+        """Key-only fast path: consume a left join key; returns the number
+        of right-side matches it completes (spilled partitions included)."""
+        return self._insert_key("left", "right", key)
+
+    def insert_right_key(self, key: Any) -> int:
+        """Key-only fast path: consume a right join key; returns the number
+        of left-side matches it completes (spilled partitions included)."""
+        return self._insert_key("right", "left", key)
+
+    def _pin_mode(self, mode: str) -> None:
+        if self._mode is None:
+            self._mode = mode
+        elif self._mode != mode:
+            raise TypeError(
+                f"cannot mix {mode!r}-mode inserts into a {self._mode!r}-mode "
+                "SymmetricHashJoin"
+            )
+
     def _insert(self, side: str, other: str, row: Row) -> list[Row]:
+        self._pin_mode("rows")
         key = row[self.column]
-        matches = list(self._tables[other].get(key, ()))
-        if self.spill_sink is not None and self.spill_sink.has_spilled(other):
-            matches.extend(self.spill_sink.read(other, key))
         merged: list[Row] = []
-        for match in matches:
-            # The right side wins column collisions, whichever arrives last.
-            if side == "left":
-                output = dict(row)
-                output.update(match)
-            else:
-                output = dict(match)
-                output.update(row)
-            merged.append(output)
-        self._tables[side].setdefault(key, []).append(row)
-        self._in_memory[side] += 1
-        self.peak_left_table = max(self.peak_left_table, self._in_memory["left"])
-        self.peak_right_table = max(self.peak_right_table, self._in_memory["right"])
-        self._maybe_spill()
+        matches = self._tables[other].get(key)
+        sink = self.spill_sink
+        if matches:
+            for match in matches:
+                # The right side wins column collisions, whichever arrives
+                # last; one dict per *output* row, nothing intermediate.
+                merged.append({**row, **match} if side == "left" else {**match, **row})
+        if sink is not None and sink.has_spilled(other):
+            for match in sink.read(other, key):
+                merged.append({**row, **match} if side == "left" else {**match, **row})
+        table = self._tables[side]
+        entry = table.get(key)
+        if entry is None:
+            table[key] = [row]
+        else:
+            entry.append(row)
+        self._count_insert(side)
         return merged
 
+    def _insert_key(self, side: str, other: str, key: Any) -> int:
+        self._pin_mode("keys")
+        count = self._key_tables[other].get(key, 0)
+        sink = self.spill_sink
+        if sink is not None and sink.has_spilled(other):
+            count += len(sink.read(other, key))
+        table = self._key_tables[side]
+        table[key] = table.get(key, 0) + 1
+        self._count_insert(side)
+        return count
+
+    def _count_insert(self, side: str) -> None:
+        in_memory = self._in_memory
+        size = in_memory[side] + 1
+        in_memory[side] = size
+        if side == "left":
+            if size > self.peak_left_table:
+                self.peak_left_table = size
+        elif size > self.peak_right_table:
+            self.peak_right_table = size
+        if self.memory_budget is not None:
+            self._maybe_spill()
+
     def _maybe_spill(self) -> None:
-        if self.memory_budget is None:
-            return
         if self._in_memory["left"] + self._in_memory["right"] <= self.memory_budget:
             return
+        column = self.column
         for side in ("left", "right"):
-            table = self._tables[side]
-            if not table:
+            if self._mode == "keys":
+                table = self._key_tables[side]
+                rows = [
+                    {column: key} for key, count in table.items() for _ in range(count)
+                ]
+            else:
+                table = self._tables[side]
+                rows = [row for entry in table.values() for row in entry]
+            if not rows:
                 continue
-            self.spill_sink.write(
-                side, [row for rows in table.values() for row in rows]
-            )
+            self.spill_sink.write(side, rows)
             table.clear()
             self._in_memory[side] = 0
 

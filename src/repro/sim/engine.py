@@ -1,32 +1,70 @@
 """Event loop with a virtual clock.
 
-A minimal but complete discrete-event engine: events are (time, seq,
-callback) triples in a heap; ``run`` pops them in time order and advances
-the clock. Everything the deployment simulation does — message delivery,
-query timeouts, churn — is scheduled here, so experiments are fully
-deterministic and run in virtual (not wall-clock) time.
+A minimal but complete discrete-event engine: the heap holds plain
+``(time, seq, event)`` tuples — ordering is decided entirely by the
+``(time, seq)`` prefix, so ties are FIFO and the slotted :class:`Event`
+handles are never compared — and ``run`` pops them in time order and
+advances the clock. Everything the deployment simulation does — message
+delivery, query timeouts, churn — is scheduled here, so experiments are
+fully deterministic and run in virtual (not wall-clock) time.
+
+The engine keeps two O(1) counters alongside the heap: the number of
+*live* (scheduled, not yet fired or cancelled) events, which backs
+:attr:`Simulator.pending`, and the number of cancelled entries still
+sitting in the heap. Cancelled entries are skipped lazily when popped;
+when they outnumber the live ones the heap is compacted in one pass so a
+cancel-heavy workload (e.g. mass early termination of pipelined queries)
+cannot leave the heap dominated by corpses.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
+#: event lifecycle states (module-level ints: cheaper than an Enum in the
+#: engine's hot loop, and they never leave this module)
+_PENDING, _FIRED, _CANCELLED = 0, 1, 2
 
-@dataclass(order=True)
+#: compact the heap only once this many cancelled entries have piled up —
+#: below that, the O(n) rebuild costs more than lazily skipping them
+_COMPACT_MIN = 64
+
+
 class Event:
-    """A scheduled callback. Ordering is (time, seq) so ties are FIFO."""
+    """Handle for one scheduled callback.
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    A slotted record of ``(time, seq, callback)`` plus lifecycle state.
+    Handles are deliberately *unordered*: heap ordering is carried by the
+    ``(time, seq)`` tuple prefix of each heap entry, never by comparing
+    handles, so creating one costs a plain ``__init__`` and no generated
+    comparison methods.
+    """
+
+    __slots__ = ("time", "seq", "callback", "_sim", "_group", "_state")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None], sim: "Simulator"):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self._sim = sim
+        self._group: "EventGroup | None" = None
+        self._state = _PENDING
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` took effect (never for fired events)."""
+        return self._state == _CANCELLED
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it when popped."""
-        self.cancelled = True
+        """Mark the event so the engine skips it when popped.
+
+        A no-op after the event has fired or was already cancelled, so
+        callbacks may safely cancel their own (already popped) handle.
+        """
+        if self._state == _PENDING:
+            self._state = _CANCELLED
+            self._sim._on_cancel(self)
 
 
 class Simulator:
@@ -36,22 +74,31 @@ class Simulator:
     >>> fired = []
     >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
     >>> sim.run()
+    1
     >>> fired
     [5.0]
     """
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: list[Event] = []
-        self._seq = itertools.count()
+        self._queue: list[tuple[float, int, Event]] = []
+        self._next_seq = 0
         self._processed = 0
+        #: scheduled, not yet fired or cancelled — backs O(1) ``pending``
+        self._live = 0
+        #: cancelled entries still physically in the heap
+        self._cancelled_in_heap = 0
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to fire ``delay`` time units from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self.now + delay, next(self._seq), callback)
-        heapq.heappush(self._queue, event)
+        time = self.now + delay
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, seq, callback, self)
+        heapq.heappush(self._queue, (time, seq, event))
+        self._live += 1
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
@@ -66,17 +113,25 @@ class Simulator:
         events processed by this call.
         """
         processed = 0
-        while self._queue:
+        queue = self._queue
+        heappop = heapq.heappop
+        while queue:
             if max_events is not None and processed >= max_events:
                 break
-            event = self._queue[0]
-            if until is not None and event.time > until:
+            time = queue[0][0]
+            if until is not None and time > until:
                 self.now = until
                 break
-            heapq.heappop(self._queue)
-            if event.cancelled:
+            event = heappop(queue)[2]
+            if event._state != _PENDING:
+                self._cancelled_in_heap -= 1
                 continue
-            self.now = event.time
+            event._state = _FIRED
+            self._live -= 1
+            group = event._group
+            if group is not None:
+                group._events.pop(event.seq, None)
+            self.now = time
             event.callback()
             processed += 1
         self._processed += processed
@@ -88,8 +143,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._live
 
     @property
     def processed(self) -> int:
@@ -100,16 +155,44 @@ class Simulator:
         """A new cancellable group of events on this simulator."""
         return EventGroup(self)
 
+    # -- internal bookkeeping ---------------------------------------------
+
+    def _on_cancel(self, event: Event) -> None:
+        """Counter upkeep for one cancellation; compacts when worthwhile.
+
+        Compaction triggers when cancelled entries outnumber the live
+        ones: one O(n) rebuild halves the heap, so its amortised cost per
+        cancelled event is O(1) and mass cancellations cannot leave the
+        heap dominated by corpses until they happen to be popped.
+        """
+        self._live -= 1
+        self._cancelled_in_heap += 1
+        group = event._group
+        if group is not None:
+            group._events.pop(event.seq, None)
+        if (
+            self._cancelled_in_heap > _COMPACT_MIN
+            and self._cancelled_in_heap * 2 > len(self._queue)
+        ):
+            # In-place: ``run`` may be mid-drain holding a reference to
+            # this exact list, so the object must never be swapped out.
+            self._queue[:] = [
+                entry for entry in self._queue if entry[2]._state == _PENDING
+            ]
+            heapq.heapify(self._queue)
+            self._cancelled_in_heap = 0
+
 
 class EventGroup:
     """A cancellable set of scheduled events.
 
     Groups model one logical activity's in-flight work — e.g. every batch
     of a pipelined query — so early termination can cancel *all* of it in
-    one call. Events drop out of the group as they fire; :meth:`cancel`
-    marks the remainder so the engine skips them, and a cancelled group
-    silently refuses new work (a late callback scheduling a follow-up
-    after cancellation is a no-op, not a resurrection).
+    one call. The engine discards each event from its group as it fires
+    (a seq-keyed dict removal — no per-event closure is allocated);
+    :meth:`cancel` marks the remainder so the engine skips them, and a
+    cancelled group silently refuses new work (a late callback scheduling
+    a follow-up after cancellation is a no-op, not a resurrection).
 
     >>> sim = Simulator()
     >>> group = sim.group()
@@ -124,6 +207,8 @@ class EventGroup:
     ['a']
     """
 
+    __slots__ = ("sim", "cancelled", "_events")
+
     def __init__(self, sim: Simulator):
         self.sim = sim
         self.cancelled = False
@@ -133,13 +218,8 @@ class EventGroup:
         """Schedule ``callback`` in this group; None if already cancelled."""
         if self.cancelled:
             return None
-        event: Event | None = None
-
-        def fire() -> None:
-            self._events.pop(event.seq, None)
-            callback()
-
-        event = self.sim.schedule(delay, fire)
+        event = self.sim.schedule(delay, callback)
+        event._group = self
         self._events[event.seq] = event
         return event
 
@@ -150,11 +230,11 @@ class EventGroup:
     def cancel(self) -> int:
         """Cancel every still-pending event; returns how many were live."""
         self.cancelled = True
-        live = len(self._events)
-        for event in self._events.values():
-            event.cancel()
+        events = list(self._events.values())
         self._events.clear()
-        return live
+        for event in events:
+            event.cancel()
+        return len(events)
 
     @property
     def pending(self) -> int:

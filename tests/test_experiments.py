@@ -294,3 +294,43 @@ class TestFig07CdfPipelining:
         for f, c in zip(firsts, completes):
             if not (math.isnan(f) or math.isnan(c)):
                 assert f <= c + 1e-9
+
+
+class TestExtRuntime:
+    def test_measures_speedups_against_recorded_baseline(self):
+        from repro.experiments import ext_runtime
+
+        result = ext_runtime.run(
+            SMALL_SCALE, repeats=1, kernel_events=20_000, num_queries=120
+        )
+        metrics = dict(zip(result.column("metric"), result.rows))
+        assert set(metrics) == {
+            "kernel_events_per_sec",
+            "dataflow_queries_per_sec",
+            "dataflow_sim_events_per_sec",
+        }
+        for metric, row in metrics.items():
+            baseline, current, speedup = row[1], row[2], row[3]
+            assert current > 0, metric
+            assert speedup == pytest.approx(current / baseline)
+
+    def test_record_writes_artifact_with_floors(self, tmp_path):
+        import json
+
+        from repro.experiments import ext_runtime
+
+        target = ext_runtime.record(
+            tmp_path / "BENCH_runtime.json", repeats=1, num_queries=120
+        )
+        payload = json.loads(target.read_text())
+        assert payload["experiment"] == "ext-runtime"
+        assert payload["baseline"] == ext_runtime.BASELINE
+        assert payload["floors"] == ext_runtime.FLOORS
+        assert len(payload["rows"]) == 3
+
+    def test_kernel_workload_is_deterministic_in_event_count(self):
+        from repro.experiments.ext_runtime import kernel_workload
+
+        scheduled, elapsed = kernel_workload(5_000)
+        assert scheduled == 5_000
+        assert elapsed > 0.0

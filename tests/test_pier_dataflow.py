@@ -214,3 +214,34 @@ class TestEmptyStreams:
         assert stats.bytes > 0  # dissemination + empty rehash + empty answer
         assert stats.pipeline.completion_time is not None
         assert stats.pipeline.first_answer_time is None
+
+
+class TestNoFetchRowShapeParity:
+    """With fetch_items=False both runtimes return the same row *shapes*,
+    not just the same fileID sets (regression: the compact batch-row path
+    must not strip single-stage answers down to fileID-only rows)."""
+
+    def shape_key(self, rows):
+        return sorted(tuple(sorted(row.items())) for row in rows)
+
+    def test_single_stage_returns_full_posting_rows(self):
+        network, catalog = build_world()
+        plan = plan_for(network, catalog, ["nebula"])
+        atomic = DistributedExecutor(network, catalog)
+        dataflow = DataflowExecutor(network, catalog, rng=5)
+        rows_atomic, _ = atomic.execute(plan, fetch_items=False)
+        rows_dataflow, _ = dataflow.execute(plan, fetch_items=False)
+        assert rows_atomic  # the corpus guarantees matches
+        assert {"keyword", "fileID"} <= set(rows_atomic[0])
+        assert self.shape_key(rows_dataflow) == self.shape_key(rows_atomic)
+
+    def test_multi_stage_returns_fileid_survivors(self):
+        network, catalog = build_world()
+        plan = plan_for(network, catalog, ["nebula", "quasar"], batch_size=2)
+        atomic = DistributedExecutor(network, catalog)
+        dataflow = DataflowExecutor(network, catalog, rng=5)
+        rows_atomic, _ = atomic.execute(plan, fetch_items=False)
+        rows_dataflow, _ = dataflow.execute(plan, fetch_items=False)
+        assert rows_atomic
+        assert set(rows_atomic[0]) == {"fileID"}
+        assert self.shape_key(rows_dataflow) == self.shape_key(rows_atomic)

@@ -15,7 +15,10 @@ class TestRegistry:
             assert section in EXPERIMENTS
 
     def test_extension_experiments_registered(self):
-        for extension in ("ext-horizon", "ext-churn", "ext-cache"):
+        for extension in (
+            "ext-horizon", "ext-churn", "ext-cache", "ext-dataflow",
+            "ext-optimizer", "ext-runtime",
+        ):
             assert extension in EXPERIMENTS
 
 

@@ -190,6 +190,88 @@ class TestEdgeCases:
         assert kept.cancelled is False
 
 
+class TestPendingCounter:
+    """``pending`` is a maintained counter now — it must stay exact
+    through every combination of fire, cancel, and group-cancel."""
+
+    def test_pending_tracks_cancel_heavy_group_workload(self):
+        sim = Simulator()
+        groups = [sim.group() for _ in range(4)]
+        events = []
+        for index in range(100):
+            event = groups[index % 4].schedule(float(index % 13) + 1.0, lambda: None)
+            events.append(event)
+        loose = [sim.schedule(float(i) + 0.5, lambda: None) for i in range(20)]
+        assert sim.pending == 120
+        # Individually cancel a third of the group events…
+        for event in events[::3]:
+            event.cancel()
+        cancelled = len(events[::3])
+        assert sim.pending == 120 - cancelled
+        # …then mass-cancel one whole group; no double counting for the
+        # members that were already individually cancelled.
+        survivors_in_group = sum(
+            1 for i, e in enumerate(events) if i % 4 == 0 and not e.cancelled
+        )
+        assert groups[0].cancel() == survivors_in_group
+        expected = 120 - cancelled - survivors_in_group
+        assert sim.pending == expected
+        # Fire a few and re-check, then drain completely.
+        fired = sim.run(max_events=7)
+        assert fired == 7
+        assert sim.pending == expected - 7
+        sim.run()
+        assert sim.pending == 0
+        assert len(loose) == 20  # keep handles alive until the end
+
+    def test_double_cancel_decrements_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending == 1
+
+    def test_cancel_inside_group_keeps_group_pending_exact(self):
+        sim = Simulator()
+        group = sim.group()
+        doomed = group.schedule(1.0, lambda: None)
+        group.schedule(2.0, lambda: None)
+        doomed.cancel()
+        assert group.pending == 1  # directly-cancelled events leave the group
+        assert group.cancel() == 1
+
+
+class TestHeapCompaction:
+    def test_mass_cancellation_compacts_the_heap(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i), lambda: None) for i in range(1000)]
+        for event in events[:900]:
+            event.cancel()
+        # The heap must not keep ~900 corpses around: compaction kicks in
+        # once cancelled entries outnumber live ones.
+        assert len(sim._queue) <= 200
+        assert sim.pending == 100
+        assert sim.run() == 100
+
+    def test_compaction_during_run_keeps_draining(self):
+        """Cancelling en masse from inside a callback (the early-termination
+        pattern) must not detach the heap the running loop is draining."""
+        sim = Simulator()
+        fired = []
+        doomed = [sim.schedule(5.0 + i, lambda i=i: fired.append(i)) for i in range(300)]
+
+        def terminate():
+            for event in doomed:
+                event.cancel()
+            sim.schedule(1.0, lambda: fired.append("after-compaction"))
+
+        sim.schedule(1.0, terminate)
+        sim.run()
+        assert fired == ["after-compaction"]
+        assert sim.pending == 0
+
+
 class TestEventGroup:
     def test_cancel_kills_only_pending_events(self):
         sim = Simulator()
