@@ -1,0 +1,71 @@
+"""Observability-cost regression suite: watching must stay cheap.
+
+``BENCH_obs.json`` (repository root) records what the tracing/metrics
+layer costs on the dataflow-scale scenario — head-sampled span trees
+(1-in-8 races kept in full) plus the unified metrics registry — next to
+the bound CI enforces: tracing on must stay within 10% of tracing off.
+These tests check the committed artifact, re-measure the ratio on a
+small slice, and run the traced smoke that validates both exporters
+against their formats.
+
+Everything here is slow-marked via the benchmarks conftest; CI runs the
+three tests explicitly in its observability step.
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments.ext_obs import MAX_OVERHEAD_FRACTION, traced_vs_untraced
+from repro.experiments.ext_runtime import build_dataflow_scale
+from repro.obs.collect import collect_all
+from repro.obs.metrics import MetricsRegistry, validate_prometheus
+from repro.obs.trace import Tracer, validate_chrome_trace
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+def test_bench_obs_artifact_within_bound():
+    """The committed artifact must record overhead under the 10% bound."""
+    payload = json.loads(BENCH_PATH.read_text())
+    rows = {row[0]: row[1] for row in payload["rows"]}
+    bound = payload["bounds"]["max_overhead_fraction"]
+    assert bound == MAX_OVERHEAD_FRACTION
+    assert rows["overhead_fraction"] < bound, (
+        f"recorded tracing-on overhead {rows['overhead_fraction']:.1%} "
+        f"exceeds the {bound:.0%} bound"
+    )
+    assert rows["spans_recorded"] > 0 and rows["metric_series"] > 0
+
+
+def test_measured_overhead_within_bound():
+    """Re-measured overhead on a small slice must clear the bound (CI smoke).
+
+    Measures the scale configuration (head-sampled tracing plus the full
+    metrics registry). The measurement also asserts zero drift: the
+    traced run must produce identical race outcomes to the untraced one.
+    """
+    best = min(
+        traced_vs_untraced(500)["overhead_fraction"] for _ in range(3)
+    )
+    assert best < MAX_OVERHEAD_FRACTION, (
+        f"tracing-on overhead at {best:.1%}, bound {MAX_OVERHEAD_FRACTION:.0%}"
+    )
+
+
+def test_traced_smoke_exports_validate():
+    """A traced run of the scenario must export valid Prometheus text and
+    Chrome trace_event JSON, with a span tree rooted at every race."""
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    sim, engine, dht, _ = build_dataflow_scale(
+        200, tracer=tracer, metrics=metrics
+    )
+    sim.run()
+    assert engine.completed == 200
+    collect_all(metrics, network=dht, sim=sim)
+    tracer.finish_open()
+    validate_prometheus(metrics.to_prometheus())
+    validate_chrome_trace(tracer.to_chrome_trace())
+    races = [span for span in tracer.roots if span.name == "hybrid.race"]
+    assert len(races) == 200
+    assert all(span.finished for span in races)

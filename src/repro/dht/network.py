@@ -99,6 +99,9 @@ class DhtNetwork:
         self._route_cache_epoch = -1
         self.route_cache_hits = 0
         self.route_cache_misses = 0
+        #: mid-walk churn recoveries: lookups that routed around a
+        #: departed node (resume-from-last-live or successor fallback)
+        self.route_repairs = 0
         # --- replica-aware read path (repro.cache.replication) --------
         #: called as (key, serving_node) on every read-target resolution
         self.read_listener: Callable[[int, int], None] | None = None
@@ -362,6 +365,7 @@ class DhtNetwork:
                 # from the most recent node on the path still alive.
                 current = self._last_live(path, key)
                 retries += 1
+                self.route_repairs += 1
                 path.append(current)
                 yield current
                 continue
@@ -380,6 +384,7 @@ class DhtNetwork:
                 # the first live successor (Chord's failure recovery).
                 next_hop = self._first_live_successor(node, exclude={current})
                 retries += 1
+                self.route_repairs += 1
                 if next_hop is None:
                     raise DhtError(
                         f"node {current:x} has no live successor to route "

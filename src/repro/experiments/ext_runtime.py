@@ -99,7 +99,9 @@ def kernel_workload(num_events: int = 200_000, seed: int = 7) -> tuple[int, floa
     return num_events, elapsed
 
 
-def build_dataflow_scale(num_queries: int = 5000, churn: bool = True):
+def build_dataflow_scale(
+    num_queries: int = 5000, churn: bool = True, tracer=None, metrics=None
+):
     """Construct the dataflow-scale scenario: thousands of pipelined
     queries racing Gnutella under churn, all scheduled on one shared
     virtual clock and ready to drain.
@@ -110,6 +112,10 @@ def build_dataflow_scale(num_queries: int = 5000, churn: bool = True):
     keeps its throughput pins and the recorded baseline in
     ``BENCH_runtime.json`` comparable. Returns ``(sim, engine, dht,
     churn_process)`` with nothing run yet; ``sim.run()`` drains it.
+
+    ``tracer``/``metrics`` wire the observability layer through the whole
+    stack (``ext_obs`` measures its overhead on exactly this scenario); a
+    tracer passed without a clock is bound to the scenario's simulator.
     """
     import math
 
@@ -127,10 +133,17 @@ def build_dataflow_scale(num_queries: int = 5000, churn: bool = True):
     nodes = dht.populate(num_nodes)
     catalog = Catalog(dht)
     publisher = Publisher(dht, catalog)
-    search = SearchEngine(dht, catalog)
+    search = SearchEngine(dht, catalog, tracer=tracer, metrics=metrics)
     sim = Simulator()
+    if tracer is not None:
+        tracer.bind_clock(lambda: sim.now)
     engine = HybridQueryEngine(
-        sim, dht, config=RaceConfig(retry_backoff=1.0, batch_size=2), rng=7
+        sim,
+        dht,
+        config=RaceConfig(retry_backoff=1.0, batch_size=2),
+        rng=7,
+        tracer=tracer,
+        metrics=metrics,
     )
     hybrids = [
         HybridUltrapeer(

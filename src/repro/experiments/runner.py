@@ -5,6 +5,7 @@ Usage::
     repro-experiments                  # run everything at paper scale
     repro-experiments --scale small    # quick pass
     repro-experiments --only fig05 fig07
+    repro-experiments --only fig07 --profile   # hot-callback report after runs
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from repro.experiments import (
     ext_churn,
     ext_dataflow,
     ext_horizon_load,
+    ext_obs,
     ext_optimizer,
     ext_runtime,
     fig04_replication,
@@ -60,6 +62,7 @@ EXPERIMENTS = {
     "ext-churn": ext_churn.run,
     "ext-cache": ext_cache_effectiveness.run,
     "ext-dataflow": ext_dataflow.run,
+    "ext-obs": ext_obs.run,
     "ext-optimizer": ext_optimizer.run,
     "ext-runtime": ext_runtime.run,
 }
@@ -75,15 +78,33 @@ def main(argv: list[str] | None = None) -> int:
         "--only", nargs="*", choices=sorted(EXPERIMENTS), default=None,
         help="run only the named experiments",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="sample event-loop callbacks (1 in 97) and print the hot-span "
+        "report after all experiments finish",
+    )
     args = parser.parse_args(argv)
     scale = common.PAPER_SCALE if args.scale == "paper" else common.SMALL_SCALE
     names = args.only or sorted(EXPERIMENTS)
-    for name in names:
-        start = time.perf_counter()
-        result = EXPERIMENTS[name](scale)
-        elapsed = time.perf_counter() - start
-        print(result.format_table())
-        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    profiler = None
+    if args.profile:
+        from repro.obs.profile import Profiler, install
+
+        profiler = Profiler(sample_every=97)
+        install(profiler)
+    try:
+        for name in names:
+            start = time.perf_counter()
+            result = EXPERIMENTS[name](scale)
+            elapsed = time.perf_counter() - start
+            print(result.format_table())
+            print(f"[{name} completed in {elapsed:.1f}s]\n")
+    finally:
+        if profiler is not None:
+            from repro.obs.profile import install
+
+            install(None)
+            print(profiler.format_report())
     return 0
 
 

@@ -54,6 +54,7 @@ from repro.common.rng import make_rng
 from repro.dht.network import DhtNetwork
 from repro.gnutella.latency import GnutellaLatencyModel
 from repro.hybrid.ultrapeer import HybridQueryOutcome, HybridUltrapeer
+from repro.obs.metrics import MetricsRegistry
 from repro.pier.dataflow import DataflowConfig, DataflowExecutor, DataflowQuery
 from repro.pier.query import DistributedPlan
 from repro.piersearch.search import SearchEngine
@@ -113,6 +114,8 @@ class QueryRace:
     finished_at: float | None = None
     #: invoked exactly once when the race resolves
     on_done: Callable[["QueryRace"], None] | None = None
+    #: root trace span of this race, when the engine carries a tracer
+    span: object = None
 
     @property
     def first_result_latency(self) -> float:
@@ -132,6 +135,8 @@ class _Walk:
     origin: int = 0
     gen: object = None
     hops: int = 0
+    #: "requery.attempt" span covering this walk, when tracing is on
+    span: object = None
 
 
 class HybridQueryEngine:
@@ -149,12 +154,25 @@ class HybridQueryEngine:
         latency_model: GnutellaLatencyModel | None = None,
         config: RaceConfig | None = None,
         rng=None,
+        tracer=None,
+        metrics=None,
     ):
         self.sim = sim
         self.dht = dht
         self.latency_model = latency_model or GnutellaLatencyModel()
         self.config = config or RaceConfig()
         self.rng = make_rng(rng)
+        #: optional :class:`repro.obs.trace.Tracer` — when set, every race
+        #: records a span tree (race -> flood arrivals / requery walks ->
+        #: dataflow stages -> exchange batches)
+        self.tracer = tracer
+        #: engine counters are always live (retries, dead ends, churn
+        #: recoveries fire on rare paths only, so the always-on cost is
+        #: negligible); pass a shared registry to merge with other layers
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: only a caller-supplied registry is wired into the dataflow's
+        #: per-batch hot path — with no opt-in the dataflow runs unmetered
+        self._wired_metrics = metrics
         self.races: list[QueryRace] = []
         self.inflight = 0
         self.peak_inflight = 0
@@ -184,6 +202,8 @@ class HybridQueryEngine:
                 memory_budget=self.config.memory_budget,
             ),
             rng=self.rng,
+            tracer=self.tracer,
+            metrics=self._wired_metrics,
         )
         self._dataflows[key] = (search_engine, dataflow)
         return dataflow
@@ -220,6 +240,14 @@ class HybridQueryEngine:
             stop_ttl=stop_ttl,
             on_done=on_done,
         )
+        if self.tracer is not None:
+            race.span = self.tracer.begin(
+                "hybrid.race",
+                terms=list(terms),
+                stop_ttl=stop_ttl,
+                reachable_replicas=outcome.gnutella_results,
+            )
+        self.metrics.counter("hybrid.races").add(1)
         self.races.append(race)
         self.inflight += 1
         self.peak_inflight = max(self.peak_inflight, self.inflight)
@@ -229,7 +257,10 @@ class HybridQueryEngine:
             at = self.latency_model.arrival_for_depth(depth, stop_ttl)
             if not math.isinf(at):
                 self.sim.schedule(
-                    at, lambda race=race, count=count: self._on_gnutella_arrival(race, count)
+                    at,
+                    lambda race=race, count=count, depth=depth: self._on_gnutella_arrival(
+                        race, count, depth
+                    ),
                 )
         self.sim.schedule(
             hybrid.gnutella_timeout, lambda: self._on_timeout(race, hybrid)
@@ -240,10 +271,12 @@ class HybridQueryEngine:
     # Gnutella side
     # ------------------------------------------------------------------
 
-    def _on_gnutella_arrival(self, race: QueryRace, count: int) -> None:
+    def _on_gnutella_arrival(self, race: QueryRace, count: int, depth: int = 0) -> None:
         if race.gnutella_arrived == 0:
             race.outcome.gnutella_latency = self.sim.now - race.submitted_at
         race.gnutella_arrived += count
+        if race.span is not None and race.span.recording:
+            race.span.event("flood.arrival", depth=depth, results=count)
 
     # ------------------------------------------------------------------
     # DHT side
@@ -262,6 +295,11 @@ class HybridQueryEngine:
             outcome.cache_hit = True
             outcome.pier_results = entry.result_count
             outcome.saved_bytes = entry.cost_bytes
+            self.metrics.counter("hybrid.cache_hits").add(1)
+            if race.span is not None:
+                race.span.event(
+                    "cache.hit", results=entry.result_count, saved_bytes=entry.cost_bytes
+                )
             self.sim.schedule(
                 hybrid.cache_latency, lambda: self._complete_pier(race)
             )
@@ -272,6 +310,7 @@ class HybridQueryEngine:
         if race.done:
             return
         race.pier_attempts += 1
+        self.metrics.counter("hybrid.requery_attempts").add(1)
         try:
             query_node = hybrid.dht_node_id
             if query_node not in self.dht.nodes:
@@ -287,6 +326,7 @@ class HybridQueryEngine:
             self._finish(race)
             return
         except DhtError:
+            self.metrics.counter("hybrid.dht_dead_ends").add(1)
             self._retry(race, hybrid)
             return
         targets: list[int] = []
@@ -298,6 +338,13 @@ class HybridQueryEngine:
         walk = _Walk(
             race=race, hybrid=hybrid, plan=plan, targets=targets, origin=plan.query_node
         )
+        if race.span is not None:
+            walk.span = race.span.child(
+                "requery.attempt",
+                attempt=race.pier_attempts,
+                strategy=plan.strategy.name,
+                chain_sites=len(targets),
+            )
         self._step_walk(walk)
 
     def _step_walk(self, walk: _Walk) -> None:
@@ -325,11 +372,26 @@ class HybridQueryEngine:
                 except StopIteration as stop:
                     result = stop.value
                     race.route_retries += result.retries
+                    if result.retries:
+                        self.metrics.counter("hybrid.churn_recoveries").add(
+                            result.retries
+                        )
+                    if walk.span is not None and walk.span.recording:
+                        walk.span.event(
+                            "dht.lookup",
+                            target=walk.targets[walk.index],
+                            owner=result.owner,
+                            hops=walk.hops,
+                            retries=result.retries,
+                        )
                     walk.origin = result.owner
                     walk.index += 1
                     walk.gen = None
         except DhtError:
             # The route broke mid-walk beyond successor-list repair.
+            self.metrics.counter("hybrid.dht_dead_ends").add(1)
+            if walk.span is not None:
+                walk.span.finish(error="DhtError", hops=walk.hops)
             self._retry(race, walk.hybrid)
             return
         self.sim.schedule(self._hop_delay(), lambda: self._step_walk(walk))
@@ -348,15 +410,24 @@ class HybridQueryEngine:
         race = walk.race
         if self.config.execution_mode == "atomic":
             try:
-                result = walk.hybrid.search_engine.execute_plan(walk.plan)
+                result = walk.hybrid.search_engine.execute_plan(
+                    walk.plan, trace_parent=walk.span
+                )
             except DhtError:
                 # A plan site churned out between preparation and execution.
+                self.metrics.counter("hybrid.dht_dead_ends").add(1)
+                if walk.span is not None:
+                    walk.span.finish(error="DhtError", hops=walk.hops)
                 self._retry(race, walk.hybrid)
                 return
             outcome = race.outcome
             outcome.pier_results = len(result)
             outcome.pier_bytes = result.stats.bytes
             walk.hybrid.cache_store(list(outcome.terms), result)
+            if walk.span is not None:
+                walk.span.finish(
+                    hops=walk.hops, results=len(result), bytes=result.stats.bytes
+                )
             # The answer/item-fetch tail: whatever part of the critical path
             # the dissemination chain did not cover.
             tail_hops = max(1, result.stats.critical_path_hops - result.stats.chain_hops)
@@ -372,6 +443,7 @@ class HybridQueryEngine:
             on_complete=lambda query: self._on_pipeline_complete(race, walk, query),
             on_error=lambda query, error: self._on_pipeline_error(race, walk, query),
             delay_dissemination=False,  # the walk already spent that time
+            trace_parent=walk.span,
         )
 
     def _on_first_answer_batch(self, race: QueryRace) -> None:
@@ -385,6 +457,11 @@ class HybridQueryEngine:
         """The dataflow drained: final result set and byte totals are in."""
         outcome = race.outcome
         result = walk.hybrid.search_engine.finalize(walk.plan, query.rows, query.stats)
+        walk.hybrid.search_engine.observe_execution(walk.plan, query.stats)
+        if walk.span is not None:
+            walk.span.finish(
+                hops=walk.hops, results=len(result), bytes=query.stats.bytes
+            )
         outcome.pier_results = len(result)
         outcome.pier_bytes = query.stats.bytes
         outcome.pier_completion_latency = self.sim.now - race.submitted_at
@@ -402,6 +479,8 @@ class HybridQueryEngine:
         self, race: QueryRace, walk: _Walk, query: DataflowQuery
     ) -> None:
         """The dataflow broke mid-join (a site or route churned away)."""
+        if walk.span is not None:
+            walk.span.finish(error="DhtError", hops=walk.hops)
         if race.done:
             # The race already resolved (it won on a delivered answer
             # batch): keep whatever partial results arrived rather than
@@ -416,13 +495,16 @@ class HybridQueryEngine:
                 outcome.pier_bytes = query.stats.bytes
                 outcome.pier_completion_latency = self.sim.now - race.submitted_at
             return
+        self.metrics.counter("hybrid.dht_dead_ends").add(1)
         self._retry(race, walk.hybrid)
 
     def _retry(self, race: QueryRace, hybrid: HybridUltrapeer) -> None:
         if race.pier_attempts >= self.config.max_requery_attempts:
             race.pier_failed = True
+            self.metrics.counter("hybrid.pier_abandoned").add(1)
             self._finish(race)
             return
+        self.metrics.counter("hybrid.requery_retries").add(1)
         self.sim.schedule(
             self.config.retry_backoff, lambda: self._start_requery(race, hybrid)
         )
@@ -444,6 +526,32 @@ class HybridQueryEngine:
         race.finished_at = self.sim.now
         self.inflight -= 1
         self.completed += 1
+        outcome = race.outcome
+        winner = (
+            "cache"
+            if outcome.cache_hit
+            else "gnutella"
+            if race.gnutella_arrived > 0
+            else "pier"
+            if outcome.used_pier and not race.pier_failed
+            else "none"
+        )
+        self.metrics.counter("hybrid.winner", labels={"source": winner}).add(1)
+        if not math.isinf(race.first_result_latency):
+            self.metrics.histogram(
+                "hybrid.first_result_latency", reservoir_size=4096
+            ).observe(race.first_result_latency)
+        if race.span is not None:
+            race.span.finish(
+                winner=winner,
+                used_pier=outcome.used_pier,
+                cache_hit=outcome.cache_hit,
+                pier_failed=race.pier_failed,
+                pier_attempts=race.pier_attempts,
+                route_retries=race.route_retries,
+                gnutella_results=race.gnutella_arrived,
+                pier_results=outcome.pier_results,
+            )
         if race.on_done is not None:
             race.on_done(race)
 

@@ -96,6 +96,7 @@ class HybridUltrapeer:
         result_cache: QueryResultCache | None = None,
         popularity: PopularityEstimator | None = None,
         cache_latency: float = DEFAULT_CACHE_LATENCY,
+        metrics=None,
     ):
         self.ultrapeer_id = ultrapeer_id
         self.dht_node_id = dht_node_id
@@ -110,6 +111,9 @@ class HybridUltrapeer:
         #: optional (possibly shared) popularity stream fed by leaf queries
         self.popularity = popularity
         self.cache_latency = cache_latency
+        #: optional (usually shared) :class:`repro.obs.metrics.MetricsRegistry`
+        #: — QRS publish volume and closed-form query-path counters
+        self.metrics = metrics
         self.receipts: list[PublishReceipt] = []
         self._published_keys: set[tuple] = set()
         self.outcomes: list[HybridQueryOutcome] = []
@@ -147,6 +151,9 @@ class HybridUltrapeer:
             origin=self.dht_node_id,
         )
         self.receipts.append(receipt)
+        if self.metrics is not None:
+            self.metrics.counter("ultrapeer.qrs_published").add(1)
+            self.metrics.counter("ultrapeer.qrs_publish_bytes").add(receipt.bytes)
         return True
 
     @property
@@ -186,10 +193,14 @@ class HybridUltrapeer:
         cache_key = query_key(terms)
         if self.popularity is not None and cache_key:
             self.popularity.observe(cache_key)
+        if self.metrics is not None:
+            self.metrics.counter("ultrapeer.leaf_queries").add(1)
         if not timed_out:
             self.outcomes.append(outcome)
             return outcome
         outcome.used_pier = True
+        if self.metrics is not None:
+            self.metrics.counter("ultrapeer.pier_requeries").add(1)
         entry = self.cache_lookup(terms)
         if entry is not None:
             # Served from the ultrapeer's own cache: no plan shipped,
@@ -197,6 +208,8 @@ class HybridUltrapeer:
             outcome.cache_hit = True
             outcome.pier_results = entry.result_count
             outcome.saved_bytes = entry.cost_bytes
+            if self.metrics is not None:
+                self.metrics.counter("ultrapeer.cache_hits").add(1)
             outcome.pier_latency = self.gnutella_timeout + self.cache_latency
             outcome.pier_completion_latency = outcome.pier_latency
             self.outcomes.append(outcome)

@@ -51,6 +51,7 @@ speed.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Callable
 
 from repro.common.bloom import bloom_for_keys
@@ -179,6 +180,58 @@ class DataflowQuery:
         return self.pipeline.completion_time
 
 
+class _HotMetrics:
+    """Per-executor cache of hot-path metric handles.
+
+    Resolving a series by name costs a label encoding plus a registry
+    lookup; the per-batch and per-probe paths would pay that hundreds of
+    thousands of times in a scale run, so the executor resolves each
+    handle once and the stages hold bound Counter/Histogram objects.
+    """
+
+    def __init__(self, metrics):
+        self.metrics = metrics
+        self.batch_transit = metrics.histogram(
+            "dataflow.batch_transit", reservoir_size=4096
+        )
+        self.join_seconds = metrics.histogram(
+            "operator.join.seconds", reservoir_size=1024
+        )
+        self.join_build_rows = metrics.counter("operator.join.build_rows")
+        self.join_probe_rows = metrics.counter("operator.join.probe_rows")
+        self.join_survivor_rows = metrics.counter("operator.join.survivor_rows")
+        self.bloom_probe_seconds = metrics.histogram(
+            "operator.bloom_probe.seconds", reservoir_size=1024
+        )
+        self.bloom_probe_rows = metrics.counter("operator.bloom_probe.rows")
+        self.bloom_probe_candidates = metrics.counter(
+            "operator.bloom_probe.candidates"
+        )
+        self.bloom_verify_seconds = metrics.histogram(
+            "operator.bloom_verify.seconds", reservoir_size=1024
+        )
+        self.bloom_verify_rows = metrics.counter("operator.bloom_verify.rows")
+        self.bloom_verify_survivors = metrics.counter(
+            "operator.bloom_verify.survivors"
+        )
+        self._by_category: dict = {}
+
+    def batch_counters(self, category):
+        """(batches, tuples) counters for one traffic category, memoised."""
+        handles = self._by_category.get(category)
+        if handles is None:
+            handles = (
+                self.metrics.counter(
+                    "dataflow.batches", labels={"category": category}
+                ),
+                self.metrics.counter(
+                    "dataflow.tuples", labels={"category": category}
+                ),
+            )
+            self._by_category[category] = handles
+        return handles
+
+
 class DataflowExecutor:
     """Runs distributed plans as streaming dataflows in virtual time.
 
@@ -196,6 +249,8 @@ class DataflowExecutor:
         cost_model: CostModel | None = None,
         config: DataflowConfig | None = None,
         rng=None,
+        tracer=None,
+        metrics=None,
     ):
         self.network = network
         self.catalog = catalog
@@ -204,6 +259,12 @@ class DataflowExecutor:
         self.config = config or DataflowConfig()
         self.rng = make_rng(rng)
         self._query_counter = 0
+        #: observability hooks (:mod:`repro.obs`); both default to None and
+        #: every call site guards on that, so the disabled path costs one
+        #: branch — never an allocation
+        self.tracer = tracer
+        self.metrics = metrics
+        self._hot = _HotMetrics(metrics) if metrics is not None else None
 
     # ------------------------------------------------------------------
     # Entry points
@@ -214,6 +275,7 @@ class DataflowExecutor:
         plan: DistributedPlan,
         fetch_items: bool = True,
         stop_after: int | None = None,
+        trace_parent=None,
     ) -> tuple[list[Row], QueryStats]:
         """Run ``plan`` to completion on this executor's simulator.
 
@@ -222,7 +284,12 @@ class DataflowExecutor:
         drains the whole event queue). Returns (rows, stats) exactly like
         the atomic executor.
         """
-        query = self.submit(plan, fetch_items=fetch_items, stop_after=stop_after)
+        query = self.submit(
+            plan,
+            fetch_items=fetch_items,
+            stop_after=stop_after,
+            trace_parent=trace_parent,
+        )
         self.sim.run()
         if query.error is not None:
             raise query.error
@@ -237,12 +304,15 @@ class DataflowExecutor:
         on_complete: Callable[[DataflowQuery], None] | None = None,
         on_error: Callable[[DataflowQuery, DhtError], None] | None = None,
         delay_dissemination: bool = True,
+        trace_parent=None,
     ) -> DataflowQuery:
         """Schedule ``plan`` as a pipelined dataflow; returns its handle.
 
         ``delay_dissemination=False`` starts every stage immediately (the
         hybrid engine uses it after walking the plan chain hop by hop in
         its own virtual time — dissemination bytes are still charged).
+        ``trace_parent`` (a :class:`repro.obs.trace.Span`) nests this
+        query's dataflow spans under a caller span, e.g. a hybrid race.
         """
         self._query_counter += 1
         run = _QueryRun(
@@ -255,6 +325,7 @@ class DataflowExecutor:
             on_complete=on_complete,
             on_error=on_error,
             delay_dissemination=delay_dissemination,
+            trace_parent=trace_parent,
         )
         run.start()
         return run.query
@@ -305,6 +376,16 @@ class _DhtSpillSink(SpillSink):
         return self.run.executor.network.nodes.get(self.site)
 
     def write(self, side: str, rows: list[Row]) -> None:
+        run = self.run
+        if rows:
+            if run.span is not None:
+                run.span.event(
+                    "join.spill", side=side, rows=len(rows), site=self.site
+                )
+            if run.metrics is not None:
+                spill_bytes = len(rows) * run.executor.cost_model.rehash_tuple_bytes()
+                run.metrics.counter("operator.spill.rows").add(len(rows))
+                run.metrics.counter("operator.spill.bytes").add(spill_bytes)
         node = self._node()
         if node is None:  # site churned out: keep state in memory instead
             super().write(side, rows)
@@ -386,6 +467,12 @@ class _Exchange:
         self.tuples_sent = 0
         self.batches_sent = 0
         self._last_arrival = 0.0
+        hot = run.hot
+        if hot is not None:
+            self._m_batches, self._m_tuples = hot.batch_counters(category)
+            self._m_transit = hot.batch_transit
+        else:
+            self._m_batches = self._m_tuples = self._m_transit = None
 
     def offer(self, values: list[tuple]) -> None:
         """Queue value tuples (shaped by this edge's ``columns``) to ship."""
@@ -446,6 +533,28 @@ class _Exchange:
         delay = sum(self.run.executor.hop_delay() for _ in range(hops))
         arrival = max(self.run.sim.now + delay, self.ready_time)
         self._last_arrival = max(self._last_arrival, arrival)
+        run = self.run
+        if run.span is not None and run.span.recording:
+            # A batch span covers send -> arrival; the end timestamp is
+            # known now (virtual time), so close it immediately. All-
+            # positional tracer call with a literal attrs dict: this is
+            # the hottest span site in a scale run.
+            run.span._tracer.complete(
+                "exchange.batch",
+                run.span,
+                run.sim.now,
+                arrival,
+                {
+                    "category": self.category,
+                    "tuples": len(batch),
+                    "bytes": shipment.bytes,
+                    "hops": hops,
+                },
+            )
+        if self._m_batches is not None:
+            self._m_batches.add(1)
+            self._m_tuples.add(len(batch))
+            self._m_transit.observe(arrival - run.sim.now)
         self.run.group.schedule_at(arrival, lambda batch=batch: self._arrive(batch))
         if self._queue:
             self.run.group.schedule(
@@ -497,6 +606,7 @@ class _QueryRun:
         on_complete,
         on_error,
         delay_dissemination: bool,
+        trace_parent=None,
     ):
         self.executor = executor
         self.plan = plan
@@ -507,6 +617,18 @@ class _QueryRun:
         self.on_error = on_error
         self.delay_dissemination = delay_dissemination
         self.sim = executor.sim
+        self.metrics = executor.metrics
+        self.hot = executor._hot
+        self.span = None
+        if executor.tracer is not None:
+            self.span = executor.tracer.begin(
+                "pier.dataflow",
+                parent=trace_parent,
+                query_id=query_id,
+                strategy=plan.strategy.name,
+                keywords=list(plan.keywords),
+            )
+        self._stage_spans: list = []
         self.group = executor.sim.group()
         self.batch_size = (
             plan.batch_size if plan.batch_size is not None else executor.config.batch_size
@@ -887,6 +1009,8 @@ class _QueryRun:
         self.answer_tuples += answer_count
         if self.pipeline.first_answer_time is None and answer_count > 0:
             self.pipeline.first_answer_time = self.sim.now - self.submitted_at
+            if self.span is not None:
+                self.span.event("first_answer", tuples=answer_count)
             if self.on_first_answer is not None:
                 self.on_first_answer(self.query)
         if (
@@ -969,6 +1093,25 @@ class _QueryRun:
             self.pipeline.spilled_tuples += join.shj.spilled_rows
             self.pipeline.spill_reads += join.shj.spill_reads
         self._release_temp_keys()
+        if self.span is not None:
+            for span in self._stage_spans:
+                span.finish()  # idempotent: closes only never-drained stages
+            self.span.finish(
+                bytes=self.stats.bytes,
+                messages=self.stats.messages,
+                results=self.stats.results,
+                batches=self.pipeline.batches_shipped,
+                spilled_tuples=self.pipeline.spilled_tuples,
+                early_terminated=self.pipeline.early_terminated,
+            )
+        if self.metrics is not None:
+            self.metrics.counter("dataflow.queries").add(1)
+            self.metrics.counter(
+                "dataflow.strategy", labels={"strategy": self.plan.strategy.name}
+            ).add(1)
+            self.metrics.histogram(
+                "dataflow.completion_vtime", reservoir_size=4096
+            ).observe(self.pipeline.completion_time)
         if self.on_complete is not None:
             self.on_complete(self.query)
 
@@ -980,6 +1123,12 @@ class _QueryRun:
         self.pipeline.completion_time = self.sim.now - self.submitted_at
         self.group.cancel()
         self._release_temp_keys()
+        if self.span is not None:
+            for span in self._stage_spans:
+                span.finish()
+            self.span.finish(error=type(error).__name__)
+        if self.metrics is not None:
+            self.metrics.counter("dataflow.failures").add(1)
         if self.on_error is not None:
             self.on_error(self.query, error)
 
@@ -1028,11 +1177,25 @@ class _BloomProbeStage:
             self.run.fail(error)
             return
         self.run.stats.per_stage_entries.append(len(rows))
+        hot = self.run.hot
+        started = perf_counter() if hot is not None else 0.0
         # Key-level Bloom probe (the BloomProbe operator's semantics,
         # without materialising a candidate dict per posting row).
         candidates = dict.fromkeys(
             row["fileID"] for row in rows if bloom_contains_key(bloom, row["fileID"])
         )
+        if hot is not None:
+            hot.bloom_probe_seconds.observe(perf_counter() - started)
+            hot.bloom_probe_rows.add(len(rows))
+            hot.bloom_probe_candidates.add(len(candidates))
+        if self.run.span is not None:
+            self.run.span.child(
+                "stage.bloom_probe",
+                site=self.site,
+                keyword=self.keyword,
+                rows=len(rows),
+                candidates=len(candidates),
+            ).finish()
         self.out.offer([(key,) for key in candidates])
         self.out.close()
 
@@ -1052,10 +1215,17 @@ class _BloomVerifyStage:
         #: set by the source stage when it builds the filter
         self.rare_keys: set = set()
         self.emitted: set = set()
+        self.span = None
 
     def deliver(self, batch: RowBatch) -> None:
         if self.run.query.done:
             return
+        run = self.run
+        if self.span is None and run.span is not None:
+            self.span = run.span.child("stage.bloom_verify")
+            run._stage_spans.append(self.span)
+        hot = run.hot
+        started = perf_counter() if hot is not None else 0.0
         rare_keys = self.rare_keys
         emitted = self.emitted
         survivors: list[tuple] = []
@@ -1063,10 +1233,16 @@ class _BloomVerifyStage:
             if key in rare_keys and key not in emitted:
                 emitted.add(key)
                 survivors.append((key,))
+        if hot is not None:
+            hot.bloom_verify_seconds.observe(perf_counter() - started)
+            hot.bloom_verify_rows.add(len(batch))
+            hot.bloom_verify_survivors.add(len(survivors))
         if survivors:
             self.out.offer(survivors)
 
     def on_eos(self) -> None:
+        if self.span is not None:
+            self.span.finish(verified=len(self.emitted))
         if self.run.query.done:
             return
         self.out.close()
@@ -1095,11 +1271,24 @@ class _JoinStage:
         self.shj = SymmetricHashJoin(
             column="fileID", memory_budget=budget, spill_sink=sink
         )
+        self.span = None
 
     def activate(self) -> None:
         self.activated = True
         rows = self.run._fetch_stage_local("Inverted", self.site, self.keyword)
         self.run.stats.per_stage_entries.append(len(rows))
+        run = self.run
+        if run.span is not None:
+            self.span = run.span.child(
+                "stage.join",
+                site=self.site,
+                keyword=self.keyword,
+                stage=self.index,
+                build_rows=len(rows),
+            )
+            run._stage_spans.append(self.span)
+        if run.hot is not None:
+            run.hot.join_build_rows.add(len(rows))
         insert_right_key = self.shj.insert_right_key
         for row in rows:
             insert_right_key(row["fileID"])
@@ -1113,6 +1302,8 @@ class _JoinStage:
             except DhtError as error:
                 self.run.fail(error)
                 return
+        hot = self.run.hot
+        started = perf_counter() if hot is not None else 0.0
         # Key-only hot loop: probe/build on bare fileIDs, no dict per row.
         insert_left_key = self.shj.insert_left_key
         emitted = self.emitted
@@ -1121,10 +1312,20 @@ class _JoinStage:
             if insert_left_key(key) and key not in emitted:
                 emitted.add(key)
                 survivors.append((key,))
+        if hot is not None:
+            hot.join_seconds.observe(perf_counter() - started)
+            hot.join_probe_rows.add(len(batch))
+            hot.join_survivor_rows.add(len(survivors))
         if survivors:
             self.out.offer(survivors)
 
     def on_eos(self) -> None:
+        if self.span is not None:
+            self.span.finish(
+                survivors=len(self.emitted),
+                spilled_rows=self.shj.spilled_rows,
+                spill_reads=self.shj.spill_reads,
+            )
         if self.run.query.done:
             return
         self.out.close()

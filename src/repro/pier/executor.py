@@ -85,6 +85,8 @@ class DistributedExecutor:
         mode: str = "atomic",
         dataflow_config: DataflowConfig | None = None,
         rng=None,
+        tracer=None,
+        metrics=None,
     ):
         if mode not in ("atomic", "pipelined"):
             raise ValueError(f"unknown execution mode {mode!r}")
@@ -105,6 +107,10 @@ class DistributedExecutor:
         self.mode = mode
         self._query_counter = 0
         self._temp_keys: list[tuple[int, int]] = []  # (node, ring key)
+        #: observability hooks (:mod:`repro.obs`), None when disabled
+        self.tracer = tracer
+        self.metrics = metrics
+        self._span = None  # root span of the query currently executing
         self._dataflow: DataflowExecutor | None = None
         if mode == "pipelined":
             self._dataflow = DataflowExecutor(
@@ -113,38 +119,74 @@ class DistributedExecutor:
                 cost_model=self.cost_model,
                 config=dataflow_config,
                 rng=rng,
+                tracer=tracer,
+                metrics=metrics,
             )
 
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
 
-    def execute(self, plan: DistributedPlan, fetch_items: bool = True) -> tuple[list[Row], QueryStats]:
+    def execute(
+        self,
+        plan: DistributedPlan,
+        fetch_items: bool = True,
+        trace_parent=None,
+    ) -> tuple[list[Row], QueryStats]:
         """Run ``plan``; returns (result rows, per-query statistics).
 
         Result rows are Item tuples when ``fetch_items`` is set, otherwise
-        the surviving posting entries (fileID rows).
+        the surviving posting entries (fileID rows). ``trace_parent``
+        nests the query's spans under a caller span when tracing is on.
         """
         if self._dataflow is not None:
-            return self._dataflow.execute(plan, fetch_items=fetch_items)
+            return self._dataflow.execute(
+                plan, fetch_items=fetch_items, trace_parent=trace_parent
+            )
         self._query_counter += 1
         first_temp_key = len(self._temp_keys)
+        if self.tracer is not None:
+            # The atomic runtime is a synchronous lump: its spans exist
+            # for structure and attributes; every timestamp is "now".
+            self._span = self.tracer.begin(
+                "pier.atomic",
+                parent=trace_parent,
+                query_id=self._query_counter,
+                strategy=plan.strategy.name,
+                keywords=list(plan.keywords),
+            )
         try:
             if plan.strategy is JoinStrategy.INVERTED_CACHE:
-                return self._execute_inverted_cache(plan, fetch_items)
-            if len(plan.stages) > 1:
-                if plan.strategy is JoinStrategy.SEMI_JOIN:
-                    return self._execute_semi_join(plan, fetch_items)
-                if plan.strategy is JoinStrategy.BLOOM_JOIN:
-                    return self._execute_bloom_join(plan, fetch_items)
-            # Single-stage semi/Bloom plans degenerate to the distributed
-            # join (there is nothing to intersect, so nothing ships).
-            return self._execute_distributed_join(plan, fetch_items)
-        except BaseException:
+                rows, stats = self._execute_inverted_cache(plan, fetch_items)
+            elif len(plan.stages) > 1 and plan.strategy is JoinStrategy.SEMI_JOIN:
+                rows, stats = self._execute_semi_join(plan, fetch_items)
+            elif len(plan.stages) > 1 and plan.strategy is JoinStrategy.BLOOM_JOIN:
+                rows, stats = self._execute_bloom_join(plan, fetch_items)
+            else:
+                # Single-stage semi/Bloom plans degenerate to the
+                # distributed join (nothing to intersect, nothing ships).
+                rows, stats = self._execute_distributed_join(plan, fetch_items)
+        except BaseException as error:
             # A mid-chain failure (e.g. a DhtError from routing) must not
             # orphan the temp tuples this query already stashed.
             self._release_temp_range(first_temp_key)
+            if self._span is not None:
+                self._span.finish(error=type(error).__name__)
+                self._span = None
+            if self.metrics is not None:
+                self.metrics.counter("executor.failures").add(1)
             raise
+        if self._span is not None:
+            self._span.finish(
+                bytes=stats.bytes, messages=stats.messages, results=stats.results
+            )
+            self._span = None
+        if self.metrics is not None:
+            self.metrics.counter("executor.queries").add(1)
+            self.metrics.counter(
+                "executor.strategy", labels={"strategy": plan.strategy.name}
+            ).add(1)
+        return rows, stats
 
     # ------------------------------------------------------------------
     # Temporary tuple management
@@ -246,6 +288,15 @@ class DistributedExecutor:
         survivors: dict[object, Row] = {}
         for row in merged:
             survivors.setdefault(row["fileID"], {"fileID": row["fileID"]})
+        if self._span is not None:
+            self._span.child(
+                "stage.join",
+                site=target_site,
+                shipped=len(shipped),
+                build_rows=len(local),
+                survivors=len(survivors),
+                hops=hops,
+            ).finish()
         return list(survivors.values())
 
     # ------------------------------------------------------------------
@@ -271,7 +322,17 @@ class DistributedExecutor:
             local = inverted.fetch_local(stage.site, stage.keyword)
             stats.per_stage_entries.append(len(local))
             local_keys = {row["fileID"] for row in local}
+            shipped = len(current)
             current = [key for key in current if key in local_keys]
+            if self._span is not None:
+                self._span.child(
+                    "stage.semijoin",
+                    site=stage.site,
+                    shipped=shipped,
+                    build_rows=len(local),
+                    survivors=len(current),
+                    hops=hops,
+                ).finish()
             self._stash_temp(
                 stage.site, stage_index, [{"fileID": key} for key in current]
             )
@@ -324,6 +385,14 @@ class DistributedExecutor:
         stats.per_stage_entries.append(len(local))
         probe = BloomProbe(Scan(local), column="fileID", bloom=bloom)
         candidates = list(dict.fromkeys(row["fileID"] for row in probe))
+        if self._span is not None:
+            self._span.child(
+                "stage.bloom_probe",
+                site=second.site,
+                rows=len(local),
+                candidates=len(candidates),
+                filter_bytes=bloom.size_bytes,
+            ).finish()
         self._stash_temp(second.site, 1, [{"fileID": key} for key in candidates])
         previous_site = second.site
 
@@ -336,7 +405,17 @@ class DistributedExecutor:
             local = inverted.fetch_local(stage.site, stage.keyword)
             stats.per_stage_entries.append(len(local))
             local_keys = {row["fileID"] for row in local}
+            shipped = len(candidates)
             candidates = [key for key in candidates if key in local_keys]
+            if self._span is not None:
+                self._span.child(
+                    "stage.bloom_digest",
+                    site=stage.site,
+                    shipped=shipped,
+                    build_rows=len(local),
+                    survivors=len(candidates),
+                    hops=hops,
+                ).finish()
             self._stash_temp(
                 stage.site, stage_index, [{"fileID": key} for key in candidates]
             )
@@ -350,7 +429,16 @@ class DistributedExecutor:
             self._charge_digest(
                 stats, "pier.bloom.digest", len(candidates), return_hops
             )
+            shipped = len(candidates)
             candidates = [key for key in candidates if key in rare_keys]
+            if self._span is not None:
+                self._span.child(
+                    "stage.bloom_verify",
+                    site=first.site,
+                    shipped=shipped,
+                    verified=len(candidates),
+                    hops=return_hops,
+                ).finish()
 
         self._charge_answer(stats, len(candidates))
         stats.critical_path_hops = stats.chain_hops + return_hops + 1
@@ -409,6 +497,14 @@ class DistributedExecutor:
         for row in matched:
             survivors.setdefault(row["fileID"], {"fileID": row["fileID"]})
         current = list(survivors.values())
+        if self._span is not None:
+            self._span.child(
+                "stage.inverted_cache",
+                site=first.site,
+                rows=len(rows),
+                survivors=len(current),
+                hops=hops,
+            ).finish()
 
         # 3. Stream answers directly back to the query node.
         self._charge_answer(stats, len(current))

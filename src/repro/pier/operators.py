@@ -8,6 +8,7 @@ operator here is purely local and purely functional over its input stream.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.pier.schema import Row
@@ -22,6 +23,55 @@ class Operator:
     def rows(self) -> list[Row]:
         """Materialise the full output."""
         return list(self)
+
+
+class Metered(Operator):
+    """Transparent metering wrapper around any operator.
+
+    Yields the child's rows unchanged while recording, into a
+    :class:`repro.obs.metrics.MetricsRegistry` (or plain
+    :class:`repro.sim.stats.StatsRegistry`):
+
+    * ``<name>.rows`` — output row counter,
+    * ``<name>.seconds`` — wall-clock seconds spent *inside the child*
+      producing each row, as a seeded reservoir histogram (so metering a
+      million-row scan retains a bounded sample).
+
+    The observability layer's opt-in hook for the atomic iterator path —
+    the streaming dataflow runtime meters its stages event-side instead.
+    Wrapping changes no output: rows, order, and laziness are preserved.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        registry,
+        name: str,
+        labels: dict[str, str] | None = None,
+        reservoir_size: int = 1024,
+    ):
+        self.child = child
+        self.registry = registry
+        self.name = name
+        self.labels = labels
+        self.reservoir_size = reservoir_size
+
+    def __iter__(self) -> Iterator[Row]:
+        kwargs = {"labels": self.labels} if self.labels else {}
+        rows = self.registry.counter(f"{self.name}.rows", **kwargs)
+        seconds = self.registry.histogram(
+            f"{self.name}.seconds", reservoir_size=self.reservoir_size, **kwargs
+        )
+        iterator = iter(self.child)
+        while True:
+            start = perf_counter()
+            try:
+                row = next(iterator)
+            except StopIteration:
+                return
+            seconds.observe(perf_counter() - start)
+            rows.add(1)
+            yield row
 
 
 class Scan(Operator):

@@ -126,10 +126,34 @@ class CostBasedOptimizer:
         catalog: Catalog,
         cost_model: CostModel | None = None,
         config: OptimizerConfig | None = None,
+        metrics=None,
     ):
         self.catalog = catalog
         self.cost_model = cost_model or catalog.network.cost_model
         self.config = config or OptimizerConfig()
+        #: optional :class:`repro.obs.metrics.MetricsRegistry` — records
+        #: per-strategy pick counts and predicted-vs-actual byte error
+        self.metrics = metrics
+        #: per-strategy metric handles, resolved once (label encoding is
+        #: too costly to repeat on every pick/observation)
+        self._strategy_handles: dict = {}
+
+    def _handles_for(self, strategy_name: str):
+        handles = self._strategy_handles.get(strategy_name)
+        if handles is None:
+            labels = {"strategy": strategy_name}
+            handles = (
+                self.metrics.counter("optimizer.picks", labels=labels),
+                self.metrics.counter("optimizer.predicted_bytes", labels=labels),
+                self.metrics.counter("optimizer.actual_bytes", labels=labels),
+                self.metrics.histogram(
+                    "optimizer.bytes_error_ratio",
+                    labels=labels,
+                    reservoir_size=4096,
+                ),
+            )
+            self._strategy_handles[strategy_name] = handles
+        return handles
 
     # ------------------------------------------------------------------
     # Cost model
@@ -235,7 +259,31 @@ class CostBasedOptimizer:
     ) -> JoinStrategy:
         """The cheapest executable strategy for these posting sizes."""
         priced = self.estimates(sizes, inverted_cache=inverted_cache)
-        return min(
+        winner = min(
             priced.values(),
             key=lambda e: (e.bytes, _PREFERENCE.index(e.strategy)),
-        ).strategy
+        )
+        if self.metrics is not None:
+            self._handles_for(winner.strategy.name)[0].add(1)
+        return winner.strategy
+
+    def observe_actual(
+        self, strategy: JoinStrategy, predicted_bytes: int, actual_bytes: int
+    ) -> None:
+        """Record how one executed query's bytes compared to the estimate.
+
+        ``predicted_bytes`` is the model's *differential* cost (plan
+        dissemination + inter-site shipping); ``actual_bytes`` is the
+        query's full metered total, which also includes the
+        strategy-invariant answer and Item-fetch legs the model excludes —
+        so the error ratio runs above 1.0 by that shared constant. The
+        signal to watch is the per-strategy drift of the ratio, not its
+        absolute level.
+        """
+        if self.metrics is None:
+            return
+        _, predicted, actual, error_ratio = self._handles_for(strategy.name)
+        predicted.add(predicted_bytes)
+        actual.add(actual_bytes)
+        if predicted_bytes > 0:
+            error_ratio.observe(actual_bytes / predicted_bytes)

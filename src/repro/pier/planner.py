@@ -148,6 +148,11 @@ class KeywordPlanner:
             # Only the first site executes; remaining terms are substring
             # filters applied there (Figure 3).
             stages = stages[:1] + [PlanStage(keyword=stage.keyword, site=stages[0].site) for stage in stages[1:]]
+        predicted_bytes: int | None = None
+        if self.optimizer is not None and sizes is not None:
+            estimate = self.optimizer.estimates(sizes).get(strategy)
+            if estimate is not None:
+                predicted_bytes = estimate.bytes
         return DistributedPlan(
             keywords=tuple(unique),
             stages=stages,
@@ -160,4 +165,5 @@ class KeywordPlanner:
                 if self.optimizer is not None
                 else DistributedPlan.bloom_fp_rate
             ),
+            predicted_bytes=predicted_bytes,
         )

@@ -78,6 +78,10 @@ class DistributedPlan:
     #: target false-positive rate for the Bloom join's filter (ignored by
     #: the other strategies)
     bloom_fp_rate: float = 0.01
+    #: the optimizer's differential byte estimate for the chosen strategy,
+    #: when a cost-based optimizer priced this plan (observability only —
+    #: execution never reads it)
+    predicted_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if not self.stages:

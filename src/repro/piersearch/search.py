@@ -46,21 +46,27 @@ class SearchEngine:
         inverted_cache: bool = False,
         mode: str = "atomic",
         optimizer: CostBasedOptimizer | bool | None = None,
+        tracer=None,
+        metrics=None,
     ):
         self.network = network
         self.catalog = catalog
         self.inverted_cache = inverted_cache
         self.mode = mode
+        self.tracer = tracer
+        self.metrics = metrics
         #: ``True`` builds a default cost-based optimizer; with one
         #: attached, ``strategy=None`` queries price all four join
         #: strategies and execute the cheapest. The optimizer targets
         #: Inverted-index deployments — an InvertedCache deployment has
         #: already made its strategy choice, so it is ignored there.
         if optimizer is True:
-            optimizer = CostBasedOptimizer(catalog)
+            optimizer = CostBasedOptimizer(catalog, metrics=metrics)
         self.optimizer = optimizer or None
         self.planner = KeywordPlanner(catalog, optimizer=self.optimizer)
-        self.executor = DistributedExecutor(network, catalog, mode=mode)
+        self.executor = DistributedExecutor(
+            network, catalog, mode=mode, tracer=tracer, metrics=metrics
+        )
 
     def prepare(
         self,
@@ -99,10 +105,24 @@ class SearchEngine:
             planner = self.planner
         return planner.plan(normalised, query_node, strategy=strategy)
 
-    def execute_plan(self, plan: DistributedPlan) -> SearchResult:
+    def execute_plan(self, plan: DistributedPlan, trace_parent=None) -> SearchResult:
         """Execute an already-prepared plan. See :meth:`search`."""
-        items, stats = self.executor.execute(plan)
+        items, stats = self.executor.execute(plan, trace_parent=trace_parent)
+        self.observe_execution(plan, stats)
         return self.finalize(plan, items, stats)
+
+    def observe_execution(self, plan: DistributedPlan, stats: QueryStats) -> None:
+        """Feed an executed plan's metered bytes back to the optimizer.
+
+        No-op unless a cost-based optimizer priced the plan — the hook
+        behind the predicted-vs-actual bytes error metric. Called by the
+        synchronous path above and by the event-driven hybrid engine when
+        its pipelined execution completes.
+        """
+        if self.optimizer is not None and plan.predicted_bytes is not None:
+            self.optimizer.observe_actual(
+                plan.strategy, plan.predicted_bytes, stats.bytes
+            )
 
     @staticmethod
     def finalize(plan: DistributedPlan, items: list[Row], stats: QueryStats) -> SearchResult:

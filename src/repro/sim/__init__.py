@@ -10,7 +10,7 @@ counters and histograms that the experiment harness reports.
 from repro.sim.engine import Event, EventGroup, Simulator
 from repro.sim.latency import LatencyModel, TwoContinentLatencyModel, UniformLatencyModel
 from repro.sim.network import Message, SimNetwork
-from repro.sim.stats import Counter, Histogram, StatsRegistry
+from repro.sim.stats import Counter, Gauge, Histogram, StatsRegistry
 
 __all__ = [
     "Event",
@@ -22,6 +22,7 @@ __all__ = [
     "Message",
     "SimNetwork",
     "Counter",
+    "Gauge",
     "Histogram",
     "StatsRegistry",
 ]

@@ -30,6 +30,23 @@ _PENDING, _FIRED, _CANCELLED = 0, 1, 2
 #: below that, the O(n) rebuild costs more than lazily skipping them
 _COMPACT_MIN = 64
 
+#: process-wide profiler hook (see :mod:`repro.obs.profile`): simulators
+#: snapshot it at construction, so installing a profiler affects every
+#: simulator built afterwards — including ones experiments build
+#: internally — while the default hot loop pays one ``is None`` check
+_profiler = None
+
+
+def install_profiler(profiler) -> None:
+    """Set (or clear, with None) the profiler new simulators pick up."""
+    global _profiler
+    _profiler = profiler
+
+
+def installed_profiler():
+    """The currently installed process-wide profiler, or None."""
+    return _profiler
+
 
 class Event:
     """Handle for one scheduled callback.
@@ -88,6 +105,9 @@ class Simulator:
         self._live = 0
         #: cancelled entries still physically in the heap
         self._cancelled_in_heap = 0
+        #: sampled wall-clock profiler, or None (snapshot of the module
+        #: hook; assignable per-simulator)
+        self.profiler = _profiler
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to fire ``delay`` time units from now."""
@@ -115,6 +135,7 @@ class Simulator:
         processed = 0
         queue = self._queue
         heappop = heapq.heappop
+        profiler = self.profiler
         while queue:
             if max_events is not None and processed >= max_events:
                 break
@@ -132,7 +153,10 @@ class Simulator:
             if group is not None:
                 group._events.pop(event.seq, None)
             self.now = time
-            event.callback()
+            if profiler is None:
+                event.callback()
+            else:
+                profiler.run_sampled(event.callback)
             processed += 1
         self._processed += processed
         return processed

@@ -1,8 +1,13 @@
-"""Counters and histograms for experiment reporting."""
+"""Counters, gauges, and histograms for experiment reporting.
+
+These are the primitive metric types; :mod:`repro.obs.metrics` builds the
+labelled registry and the Prometheus/JSON exporters on top of them.
+"""
 
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
 
 
@@ -17,46 +22,102 @@ class Counter:
         self.value += amount
 
 
-class Histogram:
-    """Streaming histogram that keeps raw samples for exact quantiles.
+@dataclass
+class Gauge:
+    """A named value that can go up and down (queue depths, cache sizes)."""
 
-    Experiment sizes here are modest (<= a few hundred thousand samples),
-    so exact retention is simpler and more accurate than sketching.
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Streaming histogram with exact or bounded-reservoir retention.
+
+    By default every raw sample is kept, which gives exact quantiles and
+    is the right trade for experiment-sized runs (<= a few hundred
+    thousand samples). Pass ``reservoir_size`` to cap retention: samples
+    beyond the cap are admitted by Vitter's Algorithm R with a private
+    seeded RNG, so million-event runs hold memory constant and two runs
+    with the same seed and sample stream keep byte-identical reservoirs.
+    ``count``/``mean``/``minimum``/``maximum``/``total`` stay exact in
+    both modes; only the quantiles become approximate once the reservoir
+    overflows.
     """
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, reservoir_size: int | None = None, seed: int = 0):
+        if reservoir_size is not None and reservoir_size <= 0:
+            raise ValueError(f"reservoir_size must be positive, got {reservoir_size}")
         self.name = name
         self.samples: list[float] = []
+        self.reservoir_size = reservoir_size
+        self._rng = random.Random(seed) if reservoir_size is not None else None
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
 
     def observe(self, value: float) -> None:
-        self.samples.append(value)
+        self._count += 1
+        self._total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        size = self.reservoir_size
+        if size is None or len(self.samples) < size:
+            self.samples.append(value)
+        else:
+            # Algorithm R: keep each of the first n samples with prob size/n.
+            # random() * count instead of randrange(count): same uniform
+            # slot draw, but ~4x cheaper on the per-sample hot path (the
+            # float bias is immeasurable at reservoir-scale counts).
+            slot = int(self._rng.random() * self._count)
+            if slot < size:
+                self.samples[slot] = value
 
     def extend(self, values: list[float]) -> None:
-        self.samples.extend(values)
+        for value in values:
+            self.observe(value)
 
     def __len__(self) -> int:
-        return len(self.samples)
+        return self._count
 
     @property
     def count(self) -> int:
-        return len(self.samples)
+        """Total samples observed (exact, even when the reservoir is full)."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Exact sum of every observed sample."""
+        return self._total
 
     @property
     def mean(self) -> float:
-        if not self.samples:
+        if not self._count:
             return math.nan
-        return sum(self.samples) / len(self.samples)
+        return self._total / self._count
 
     @property
     def minimum(self) -> float:
-        return min(self.samples) if self.samples else math.nan
+        return self._min if self._count else math.nan
 
     @property
     def maximum(self) -> float:
-        return max(self.samples) if self.samples else math.nan
+        return self._max if self._count else math.nan
 
     def quantile(self, q: float) -> float:
-        """Exact q-quantile (nearest-rank) of the observed samples."""
+        """q-quantile (nearest-rank) of the retained samples.
+
+        Exact in full-retention mode; an unbiased estimate in reservoir
+        mode once more than ``reservoir_size`` samples have been seen.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0,1], got {q}")
         if not self.samples:
@@ -82,9 +143,10 @@ class Histogram:
 
 @dataclass
 class StatsRegistry:
-    """Groups counters and histograms created during one experiment run."""
+    """Groups counters, gauges, and histograms for one experiment run."""
 
     counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
     histograms: dict[str, Histogram] = field(default_factory=dict)
 
     def counter(self, name: str) -> Counter:
@@ -92,16 +154,27 @@ class StatsRegistry:
             self.counters[name] = Counter(name)
         return self.counters[name]
 
-    def histogram(self, name: str) -> Histogram:
+    def gauge(self, name: str) -> Gauge:
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(name)
+        return self.gauges[name]
+
+    def histogram(
+        self, name: str, reservoir_size: int | None = None, seed: int = 0
+    ) -> Histogram:
         if name not in self.histograms:
-            self.histograms[name] = Histogram(name)
+            self.histograms[name] = Histogram(
+                name, reservoir_size=reservoir_size, seed=seed
+            )
         return self.histograms[name]
 
     def summary(self) -> dict[str, float]:
-        """Flat numeric summary: counter values and histogram means."""
+        """Flat numeric summary: counters, gauges, and histogram means."""
         out: dict[str, float] = {}
         for name, counter in self.counters.items():
             out[name] = counter.value
+        for name, gauge in self.gauges.items():
+            out[name] = gauge.value
         for name, histogram in self.histograms.items():
             out[f"{name}.mean"] = histogram.mean
             out[f"{name}.count"] = histogram.count

@@ -179,6 +179,20 @@ class TestChurnDuringQueries:
         answered = [race for race in races if race.outcome.pier_results > 0]
         assert len(answered) >= 8
         assert engine.inflight == 0
+        # The engine's named counters reconcile with the per-race records:
+        # every successor-list repair is a churn recovery, every DhtError
+        # is a dead end, and each dead end either retried or abandoned.
+        metrics = engine.metrics
+        assert metrics.counter("hybrid.churn_recoveries").value == sum(
+            race.route_retries for race in races
+        )
+        assert metrics.counter("hybrid.requery_attempts").value == sum(
+            race.pier_attempts for race in races
+        )
+        assert metrics.counter("hybrid.dht_dead_ends").value == (
+            metrics.counter("hybrid.requery_retries").value
+            + metrics.counter("hybrid.pier_abandoned").value
+        )
 
     def test_hybrid_dht_node_churned_out_still_queries(self, world):
         sim, dht, engine, hybrid = world
@@ -204,6 +218,30 @@ class TestChurnDuringQueries:
         sim.run()
         assert race.done
         assert race.outcome.pier_results == 0
+        assert engine.metrics.counter("hybrid.requery_attempts").value == (
+            race.pier_attempts
+        )
+
+    def test_empty_ring_abandons_with_named_counters(self, world):
+        """Every attempt dead-ends on an emptied ring: the race abandons
+        the DHT side and the retry/dead-end/abandon counters reconcile."""
+        sim, dht, engine, hybrid = world
+        publish(hybrid, "rare montia klorena.mp3")
+        race = hybrid.handle_leaf_query_simulated(engine, ["montia"], [math.inf], 3)
+        def nuke():
+            for node_id in list(dht.nodes):
+                dht.remove_node(node_id, graceful=False)
+        sim.schedule(TIMEOUT - 0.01, nuke)
+        sim.run()
+        assert race.done and race.pier_failed
+        attempts = engine.config.max_requery_attempts
+        assert race.pier_attempts == attempts
+        metrics = engine.metrics
+        assert metrics.counter("hybrid.requery_attempts").value == attempts
+        assert metrics.counter("hybrid.requery_retries").value == attempts - 1
+        assert metrics.counter("hybrid.dht_dead_ends").value == attempts
+        assert metrics.counter("hybrid.pier_abandoned").value == 1
+        assert metrics.counter("hybrid.winner", labels={"source": "none"}).value == 1
 
     def test_all_races_resolve_eventually(self, world):
         """Liveness: no race may hang, whatever churn does."""
@@ -352,6 +390,14 @@ class TestPipelinedRaces:
         sim.run()
         assert all(race.done for race in races)
         assert engine.inflight == 0
+        metrics = engine.metrics
+        assert metrics.counter("hybrid.churn_recoveries").value == sum(
+            race.route_retries for race in races
+        )
+        assert metrics.counter("hybrid.dht_dead_ends").value == (
+            metrics.counter("hybrid.requery_retries").value
+            + metrics.counter("hybrid.pier_abandoned").value
+        )
 
     def test_early_terminated_answers_never_cached(self):
         dht = DhtNetwork(rng=41)

@@ -1,0 +1,193 @@
+"""Satellite invariants of the observability layer.
+
+Two guarantees the tracing/metrics layer must keep forever:
+
+* **Golden span tree** — the span tree of a small query (structure,
+  attributes, virtual timestamps) is pinned for both runtimes in
+  ``tests/golden/span_tree.json``. Instrumentation landing in new places
+  or timestamps drifting shows up as a diff; regenerate with
+  ``python tests/test_obs_tracing_equivalence.py``.
+* **Observation is free** — running the full 4-strategy x 2-runtime
+  matrix with tracing and metrics enabled leaves every QueryStats field,
+  every answer set, and the network's metered bytes byte-identical to an
+  untraced run. The tracer consumes no randomness and never perturbs
+  scheduling.
+"""
+
+import json
+import math
+from pathlib import Path
+
+from repro.dht.network import DhtNetwork
+from repro.hybrid.engine import HybridQueryEngine, RaceConfig
+from repro.hybrid.ultrapeer import HybridUltrapeer
+from repro.obs.metrics import MetricsRegistry, validate_prometheus
+from repro.obs.trace import Tracer, validate_chrome_trace
+from repro.pier.catalog import Catalog
+from repro.pier.dataflow import DataflowConfig, DataflowExecutor
+from repro.pier.executor import DistributedExecutor
+from repro.pier.query import JoinStrategy
+from repro.piersearch.publisher import Publisher
+from repro.piersearch.search import SearchEngine
+from repro.sim.engine import Simulator
+
+GOLDEN = Path(__file__).resolve().parent / "golden" / "span_tree.json"
+
+#: the pinned query: two mid-popularity terms, both pinned strategies
+#: exercise a join chain (stages, batches) without a huge golden file
+PINNED_TERMS = ["montia", "klorena"]
+PINNED_STRATEGIES = (JoinStrategy.DISTRIBUTED_JOIN, JoinStrategy.BLOOM_JOIN)
+
+
+def traced_span_forest() -> dict:
+    """Span forest of the pinned query, per (strategy, runtime) cell."""
+    from test_dataflow_equivalence import build_world, plan_for
+
+    forests: dict = {}
+    for strategy in PINNED_STRATEGIES:
+        for tag in ("atomic", "pipelined"):
+            rng, network, catalog = build_world(0)
+            query_node = network.random_node_id()
+            plan = plan_for(catalog, strategy, PINNED_TERMS, query_node)
+            if tag == "atomic":
+                tracer = Tracer()
+                executor = DistributedExecutor(network, catalog, tracer=tracer)
+                executor.execute(plan)
+            else:
+                sim = Simulator()
+                tracer = Tracer(clock=lambda: sim.now)
+                executor = DataflowExecutor(
+                    network,
+                    catalog,
+                    sim=sim,
+                    config=DataflowConfig(batch_size=2),
+                    rng=0,
+                    tracer=tracer,
+                )
+                executor.execute(plan)
+            forests[f"{strategy.name}|{tag}"] = tracer.forest()
+    return forests
+
+
+class TestGoldenSpanTree:
+    def test_span_tree_matches_golden(self):
+        expected = json.loads(GOLDEN.read_text())
+        actual = json.loads(json.dumps(traced_span_forest(), sort_keys=True))
+        assert actual == expected
+
+
+def matrix_digest(traced: bool, seeds=(0, 3)) -> dict:
+    """QueryStats + answers + meter totals for the full strategy matrix."""
+    from test_dataflow_equivalence import build_world, plan_for, queries_for, result_key
+
+    payload: dict = {}
+    for seed in seeds:
+        rng, network, catalog = build_world(seed)
+        if traced:
+            sim = Simulator()
+            tracer = Tracer(clock=lambda: sim.now)
+            metrics = MetricsRegistry()
+        else:
+            sim, tracer, metrics = Simulator(), None, None
+        atomic = DistributedExecutor(network, catalog, tracer=tracer, metrics=metrics)
+        batched = DataflowExecutor(
+            network,
+            catalog,
+            sim=sim,
+            config=DataflowConfig(batch_size=2),
+            rng=seed,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        for terms in queries_for(rng):
+            query_node = network.random_node_id()
+            for strategy in JoinStrategy:
+                plan = plan_for(catalog, strategy, terms, query_node)
+                for tag, executor in (("atomic", atomic), ("pipelined", batched)):
+                    rows, stats = executor.execute(plan)
+                    name = f"s{seed}|{'+'.join(terms)}|{strategy.name}|{tag}"
+                    payload[name] = {
+                        "bytes": stats.bytes,
+                        "messages": stats.messages,
+                        "results": stats.results,
+                        "entries": stats.posting_entries_shipped,
+                        "answers": [list(answer) for answer in result_key(rows)],
+                    }
+        payload[f"s{seed}|meter"] = {
+            "messages": network.meter.messages,
+            "bytes": network.meter.bytes,
+        }
+    return payload
+
+
+class TestObservationIsFree:
+    def test_tracing_on_off_matrix_is_byte_identical(self):
+        assert matrix_digest(traced=True) == matrix_digest(traced=False)
+
+    def test_traced_run_exports_validly(self):
+        from test_dataflow_equivalence import build_world, plan_for
+
+        rng, network, catalog = build_world(0)
+        sim = Simulator()
+        tracer = Tracer(clock=lambda: sim.now)
+        metrics = MetricsRegistry()
+        executor = DataflowExecutor(
+            network, catalog, sim=sim, config=DataflowConfig(batch_size=2),
+            rng=0, tracer=tracer, metrics=metrics,
+        )
+        plan = plan_for(
+            catalog, JoinStrategy.SEMI_JOIN, PINNED_TERMS, network.random_node_id()
+        )
+        executor.execute(plan)
+        validate_chrome_trace(tracer.to_chrome_trace())
+        validate_prometheus(metrics.to_prometheus())
+        assert tracer.to_jsonl().count("\n") == len(tracer.spans)
+
+
+class TestHybridRaceSpanTree:
+    def test_race_tree_nests_walks_and_dataflow(self):
+        dht = DhtNetwork(rng=41)
+        nodes = dht.populate(32)
+        catalog = Catalog(dht)
+        publisher = Publisher(dht, catalog)
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        search = SearchEngine(dht, catalog, tracer=tracer, metrics=metrics)
+        sim = Simulator()
+        tracer.bind_clock(lambda: sim.now)
+        engine = HybridQueryEngine(
+            sim, dht, config=RaceConfig(batch_size=2), rng=5,
+            tracer=tracer, metrics=metrics,
+        )
+        hybrid = HybridUltrapeer(
+            1, nodes[0].node_id, publisher, search, gnutella_timeout=5.0
+        )
+        for index in range(10):
+            publisher.publish_file(
+                f"montia klorena track{index:03d}.mp3", 1000, "10.0.0.1", 6346
+            )
+        race = hybrid.handle_leaf_query_simulated(
+            engine, ["montia", "klorena"], [math.inf], 3
+        )
+        sim.run()
+        assert race.done
+        (root,) = tracer.roots
+        assert root.name == "hybrid.race" and root.finished
+        walk = next(c for c in root.children if c.name == "requery.attempt")
+        lookups = [c for c in walk.children if c.name == "dht.lookup"]
+        assert lookups and all(span.attrs["hops"] >= 1 for span in lookups)
+        dataflow = next(c for c in walk.children if c.name == "pier.dataflow")
+        child_names = {c.name for c in dataflow.children}
+        assert "exchange.batch" in child_names
+        assert any(c.name == "stage.join" for c in dataflow.children)
+        # The race span closed at the first answer; timestamps are virtual.
+        assert root.end >= 5.0
+        assert root.attrs["winner"] == "pier"
+        validate_chrome_trace(tracer.to_chrome_trace())
+
+
+if __name__ == "__main__":
+    GOLDEN.write_text(
+        json.dumps(traced_span_forest(), indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {GOLDEN}")

@@ -1,7 +1,9 @@
 """Unit tests for the local physical operators."""
 
+from repro.obs.metrics import MetricsRegistry
 from repro.pier.operators import (
     HashJoin,
+    Metered,
     Projection,
     Scan,
     Selection,
@@ -13,6 +15,46 @@ from repro.pier.operators import (
 
 def rows_of(values):
     return [{"k": value} for value in values]
+
+
+class TestMetered:
+    def test_transparent_passthrough(self):
+        registry = MetricsRegistry()
+        wrapped = Metered(Scan(rows_of([1, 2, 3])), registry, "scan")
+        assert wrapped.rows() == rows_of([1, 2, 3])
+
+    def test_counts_rows_and_samples_latency(self):
+        registry = MetricsRegistry()
+        Metered(Scan(rows_of(range(10))), registry, "scan").rows()
+        assert registry.counter("scan.rows").value == 10
+        histogram = registry.histogram("scan.seconds")
+        assert histogram.count == 10
+        assert histogram.minimum >= 0.0
+
+    def test_labels_make_per_site_series(self):
+        registry = MetricsRegistry()
+        for site in ("1", "2"):
+            Metered(
+                Scan(rows_of([1])), registry, "scan", labels={"site": site}
+            ).rows()
+        assert registry.counter("scan.rows", labels={"site": "1"}).value == 1
+        assert registry.counter("scan.rows", labels={"site": "2"}).value == 1
+
+    def test_reservoir_bounds_retention(self):
+        registry = MetricsRegistry()
+        Metered(
+            Scan(rows_of(range(5_000))), registry, "scan", reservoir_size=64
+        ).rows()
+        histogram = registry.histogram("scan.seconds")
+        assert histogram.count == 5_000
+        assert len(histogram.samples) == 64
+
+    def test_composes_with_plain_stats_registry(self):
+        from repro.sim.stats import StatsRegistry
+
+        registry = StatsRegistry()
+        Metered(Scan(rows_of([1, 2])), registry, "scan").rows()
+        assert registry.counter("scan.rows").value == 2
 
 
 class TestScan:
