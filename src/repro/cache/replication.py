@@ -142,8 +142,7 @@ class AdaptiveReplicationController:
         """Copy ``key``'s values to the owner's successors; returns them."""
         network = self.network
         owner_id = network.owner_of(key)
-        owner = network.nodes[owner_id]
-        values = owner.store.get(key)
+        values = network.get_local(owner_id, key)
         if not values:
             return []
         now = self.now()
@@ -151,21 +150,20 @@ class AdaptiveReplicationController:
         placed: list[int] = []
         fresh: list[int] = []
         payload = 0
-        for successor_id in owner.successors:
+        for successor_id in network.successors_of(owner_id):
             if len(placed) >= self.config.extra_replicas:
                 break
-            node = network.nodes.get(successor_id)
-            if node is None:
+            if successor_id not in network.nodes:
                 continue
-            held_before = node.store.contains(key)
+            held_before = network.local_contains(successor_id, key)
             for value in values:
-                node.store.put(key, value, identity=_identity(value))
+                network.put_local(successor_id, key, value, identity=_identity(value))
             if not held_before:
                 # Only copies we created carry an expiry stamp; a node
                 # that already held the key (e.g. a natural put replica)
                 # owns its copy and must never lose it to our TTL.
                 if expires_at is not None:
-                    node.store.set_expiry(key, expires_at)
+                    network.set_local_expiry(successor_id, key, expires_at)
                 fresh.append(successor_id)
             placed.append(successor_id)
             payload += network.cost_model.message_bytes(
@@ -174,7 +172,7 @@ class AdaptiveReplicationController:
         if not placed:
             return []
         # One direct transfer per replica, charged like put_raw's replication.
-        network.meter.charge("cache.replicate", len(placed), payload)
+        network.transport.charge("cache.replicate", len(placed), payload)
         network.register_replicas(key, placed)
         self._placed_at[key] = now
         self._fresh_holders[key] = fresh
@@ -190,9 +188,7 @@ class AdaptiveReplicationController:
         """Tear down ``key``'s placement and drop copies we created."""
         self.network.unregister_replicas(key)
         for node_id in self._fresh_holders.pop(key, []):
-            node = self.network.nodes.get(node_id)
-            if node is not None:
-                node.store.remove_key(key)
+            self.network.remove_local(node_id, key)
         self._placed_at.pop(key, None)
 
     def expire(self, now: float | None = None) -> int:
@@ -213,9 +209,7 @@ class AdaptiveReplicationController:
         for key in stale:
             self.network.unregister_replicas(key)
             for node_id in self._fresh_holders.pop(key, []):
-                node = self.network.nodes.get(node_id)
-                if node is not None:
-                    node.store.purge_expired(now)
+                self.network.purge_expired_local(node_id, now)
             self._placed_at.pop(key, None)
         self.stats.expired += len(stale)
         return len(stale)

@@ -20,6 +20,8 @@ from repro.common.rng import make_rng
 from repro.common.units import BandwidthMeter, CostModel, DEFAULT_COST_MODEL
 from repro.dht.keyspace import responsible_node
 from repro.dht.node import DhtNode
+from repro.net.messages import DirectMessage, RoutedMessage
+from repro.net.transport import InProcessTransport, Transport
 
 MAX_HOPS_FACTOR = 4  # routing gives up after 4*log2(N)+8 hops
 
@@ -76,6 +78,7 @@ class DhtNetwork:
         cost_model: CostModel | None = None,
         rng: random.Random | int | None = None,
         route_cache: bool = True,
+        transport: Transport | None = None,
     ):
         if replication < 1:
             raise ValueError(f"replication must be >= 1, got {replication}")
@@ -86,6 +89,10 @@ class DhtNetwork:
         self.nodes: dict[int, DhtNode] = {}
         self._ring: list[int] = []  # sorted node ids
         self.meter = BandwidthMeter()
+        #: every cross-node byte flows through this boundary (typed
+        #: messages, charged to the meter); swap it to re-target the same
+        #: overlay at a different backend — see :mod:`repro.net.transport`
+        self.transport = transport or InProcessTransport(self.meter, self.cost_model)
         self._stale = False
         #: bumped on every join/leave; cheap epoch stamp for caches (e.g.
         #: the catalog's posting-size statistics) that must not survive churn
@@ -148,8 +155,15 @@ class DhtNetwork:
                     moved += 1
                 source.store.remove_key(key)
             if moved:
-                per_value = self.cost_model.message_bytes(self.cost_model.tuple_bytes(0))
-                self.meter.charge("dht.handoff", moved, moved * per_value)
+                self.transport.deliver(
+                    DirectMessage(
+                        source=successor_id,
+                        target=node_id,
+                        payload_bytes=self.cost_model.tuple_bytes(0),
+                        category="dht.handoff",
+                        copies=moved,
+                    )
+                )
         return node
 
     def populate(self, count: int) -> list[DhtNode]:
@@ -179,8 +193,15 @@ class DhtNetwork:
                     target.store.put(key, value, identity=_identity(value))
                     moved += 1
             if moved:
-                per_value = self.cost_model.message_bytes(self.cost_model.tuple_bytes(0))
-                self.meter.charge("dht.handoff", moved, moved * per_value)
+                self.transport.deliver(
+                    DirectMessage(
+                        source=node_id,
+                        target=successor,
+                        payload_bytes=self.cost_model.tuple_bytes(0),
+                        category="dht.handoff",
+                        copies=moved,
+                    )
+                )
         node.alive = False
         for key in list(self._replica_sets):
             holders = [nid for nid in self._replica_sets[key] if nid != node_id]
@@ -441,14 +462,26 @@ class DhtNetwork:
         """
         if direct:
             hops = 0 if source == target else 1
-            messages = 1
-            byte_count = self.cost_model.message_bytes(payload_bytes)
+            delivery = self.transport.deliver(
+                DirectMessage(
+                    source=source,
+                    target=target,
+                    payload_bytes=payload_bytes,
+                    category=category,
+                )
+            )
         else:
             hops = 0 if source == target else self.lookup(target, origin=source).hops
-            messages = max(1, hops)
-            byte_count = self.cost_model.routed_bytes(payload_bytes, hops)
-        self.meter.charge(category, messages, byte_count)
-        return BatchShipment(hops=hops, messages=messages, bytes=byte_count)
+            delivery = self.transport.deliver(
+                RoutedMessage(
+                    source=source,
+                    target=target,
+                    payload_bytes=payload_bytes,
+                    category=category,
+                    hops=hops,
+                )
+            )
+        return BatchShipment(hops=hops, messages=delivery.messages, bytes=delivery.bytes)
 
     def put(
         self,
@@ -481,18 +514,29 @@ class DhtNetwork:
         result = self.lookup(key, origin)
         owner = self.nodes[result.owner]
         owner.store.put(key, value, identity=identity)
-        self.meter.charge(
-            category,
-            max(1, result.hops),
-            self.cost_model.routed_bytes(payload_bytes, result.hops),
+        self.transport.deliver(
+            RoutedMessage(
+                source=result.path[0] if result.path else result.owner,
+                target=result.owner,
+                payload_bytes=payload_bytes,
+                category=category,
+                hops=result.hops,
+            )
         )
         # Replicate to successors of the owner (one direct hop each).
         replicas = owner.successors[: self.replication - 1]
         for replica_id in replicas:
             self.nodes[replica_id].store.put(key, value, identity=identity)
         if replicas:
-            per_replica = self.cost_model.message_bytes(payload_bytes)
-            self.meter.charge(category, len(replicas), len(replicas) * per_replica)
+            self.transport.deliver(
+                DirectMessage(
+                    source=result.owner,
+                    target=replicas[0],
+                    payload_bytes=payload_bytes,
+                    category=category,
+                    copies=len(replicas),
+                )
+            )
         # Keep adaptively-placed replicas coherent: they are registered as
         # serveable copies, so a publish must reach them too or rotated
         # reads would silently miss the new value.
@@ -504,9 +548,14 @@ class DhtNetwork:
         for node_id in extra_holders:
             self.nodes[node_id].store.put(key, value, identity=identity)
         if extra_holders:
-            per_replica = self.cost_model.message_bytes(payload_bytes)
-            self.meter.charge(
-                "cache.replicate", len(extra_holders), len(extra_holders) * per_replica
+            self.transport.deliver(
+                DirectMessage(
+                    source=result.owner,
+                    target=extra_holders[0],
+                    payload_bytes=payload_bytes,
+                    category="cache.replicate",
+                    copies=len(extra_holders),
+                )
             )
         return result
 
@@ -540,8 +589,14 @@ class DhtNetwork:
             # Stale replica registration: serve from the owner instead.
             result = self.lookup(key, origin)
             values = self.nodes[result.owner].store.get(key)
-        self.meter.charge(
-            category, max(1, result.hops), self.cost_model.routed_bytes(0, result.hops)
+        self.transport.deliver(
+            RoutedMessage(
+                source=result.path[0] if result.path else result.owner,
+                target=result.owner,
+                payload_bytes=0,
+                category=category,
+                hops=result.hops,
+            )
         )
         if not values:
             raise KeyNotFoundError(f"no values under key {key:x}")
@@ -567,8 +622,14 @@ class DhtNetwork:
             # Stale replica registration: re-route to the ring owner.
             result = yield from self.iter_lookup(key, origin)
             values = self.nodes[result.owner].store.get(key)
-        self.meter.charge(
-            category, max(1, result.hops), self.cost_model.routed_bytes(0, result.hops)
+        self.transport.deliver(
+            RoutedMessage(
+                source=result.path[0] if result.path else result.owner,
+                target=result.owner,
+                payload_bytes=0,
+                category=category,
+                hops=result.hops,
+            )
         )
         if not values:
             raise KeyNotFoundError(f"no values under key {key:x}")
@@ -580,6 +641,93 @@ class DhtNetwork:
         if node is None:
             raise NodeNotFoundError(f"unknown node {node_id:x}")
         return node.store.get(key)
+
+    # ------------------------------------------------------------------
+    # Local-store boundary
+    #
+    # The public surface for everything outside repro.dht that needs a
+    # node's storage: replica placement (repro.cache.replication), PIER
+    # temp-tuple stashes (executor/dataflow spill sinks), and catalog
+    # scans. Nothing outside this package touches DhtNode internals —
+    # tests/test_boundary_lint.py enforces it — which is what lets the
+    # storage backend move behind a transport without engine rewrites.
+    # ------------------------------------------------------------------
+
+    def put_local(
+        self,
+        node_id: int,
+        key: int,
+        value: Any,
+        identity: Hashable | None = None,
+        missing_ok: bool = False,
+    ) -> bool:
+        """Write directly into ``node_id``'s store (no messages charged).
+
+        Returns True when stored. With ``missing_ok`` a departed node is
+        reported as False instead of raising — the idiom for spill sinks
+        racing churn.
+        """
+        node = self.nodes.get(node_id)
+        if node is None:
+            if missing_ok:
+                return False
+            raise NodeNotFoundError(f"unknown node {node_id:x}")
+        node.store.put(key, value, identity=identity)
+        return True
+
+    def remove_local(self, node_id: int, key: int, missing_ok: bool = True) -> int:
+        """Drop every value under ``key`` at ``node_id``; returns count."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            if missing_ok:
+                return 0
+            raise NodeNotFoundError(f"unknown node {node_id:x}")
+        return node.store.remove_key(key)
+
+    def local_contains(self, node_id: int, key: int) -> bool:
+        """Whether ``node_id`` currently holds any value under ``key``."""
+        node = self.nodes.get(node_id)
+        return node is not None and node.store.contains(key)
+
+    def set_local_expiry(self, node_id: int, key: int, expires_at: float) -> None:
+        """Stamp ``key``'s values at ``node_id`` with an expiry time."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise NodeNotFoundError(f"unknown node {node_id:x}")
+        node.store.set_expiry(key, expires_at)
+
+    def purge_expired_local(self, node_id: int, now: float) -> int:
+        """Run ``node_id``'s local TTL sweep; returns purged count (0 if
+        the node has departed)."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            return 0
+        return len(node.store.purge_expired(now))
+
+    def stored_items(self, node_id: int | None = None):
+        """Iterate ``(node_id, key, values)`` over local stores.
+
+        With ``node_id`` the iteration covers one node; otherwise every
+        member. An oracle-style scan for catalogs and tests — not a data
+        path (nothing is charged).
+        """
+        if node_id is not None:
+            node = self.nodes.get(node_id)
+            if node is None:
+                raise NodeNotFoundError(f"unknown node {node_id:x}")
+            members = ((node_id, node),)
+        else:
+            members = self.nodes.items()
+        for member_id, node in members:
+            for key, values in node.store.items():
+                yield member_id, key, values
+
+    def successors_of(self, node_id: int) -> list[int]:
+        """The node's current successor list (copy), for replica placement."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise NodeNotFoundError(f"unknown node {node_id:x}")
+        return list(node.successors)
 
     def total_stored(self) -> int:
         return sum(len(node.store) for node in self.nodes.values())

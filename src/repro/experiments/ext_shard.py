@@ -1,0 +1,308 @@
+"""Extension: ring-sharded kernel throughput at 100k+ simulated peers.
+
+The sharded kernel (:mod:`repro.sim.shard`) splits the identifier ring
+into region shards, each with a private event heap, synchronized by
+conservative-lookahead windows. This experiment measures what that buys
+at scale and proves it changes nothing:
+
+* **The workload** (:class:`RegionWorkload`): ``num_peers`` peers spread
+  over :data:`REGIONS` fixed latency regions; ``num_chains`` message
+  chains hop peer-to-peer, staying inside a region most of the time
+  (2-8 ms hops) and occasionally crossing regions (50-80 ms hops —
+  always at least the 50 ms lookahead). Every draw — next peer, hop
+  delay — is a pure integer hash of ``(seed, chain, hop)``, so the
+  event stream is *identical at any shard count*: sharding may only
+  change where events execute, never what they are.
+* **Determinism check**: the merged per-chain digests of the 1-shard and
+  N-shard runs must be equal (same checksums, same virtual end times).
+* **Throughput**: per-shard event rates are measured over each shard's
+  *busy* wall-clock (time actually spent draining its windows). Their
+  sum — ``aggregate_events_per_sec`` — is the kernel's capacity when
+  shards drain concurrently; on a multi-core host the ``process``
+  backend realizes it as wall-clock speedup, while the sequential
+  ``round_robin`` backend time-shares one core (its honest wall rate is
+  reported alongside). The recorded speedup column is this aggregate
+  capacity relative to the single-shard rate.
+
+``python -m repro.experiments.ext_shard`` records ``BENCH_shard.json``
+at 120k peers; ``benchmarks/test_shard_scale.py`` enforces the floors.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.experiments.common import ExperimentResult, PaperScale, PAPER_SCALE
+from repro.sim.shard import ShardContext, ShardProgram, ShardRunReport, run_sharded
+
+#: latency regions are a property of the *world*, not of the kernel
+#: configuration — REGIONS never changes with the shard count, which is
+#: what makes the workload shard-count-invariant
+REGIONS = 4
+
+#: cross-region messages draw in [50, 80] ms; the lookahead is their
+#: minimum, so every cross-shard message respects the window invariant
+LOOKAHEAD = 0.050
+
+_MASK = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class ShardScenario:
+    """One sharded-throughput scenario."""
+
+    num_peers: int = 120_000
+    num_chains: int = 3_000
+    hops_per_chain: int = 400
+    seed: int = 11
+    #: intra-region hop delay range (seconds)
+    local_delay: tuple[float, float] = (0.002, 0.008)
+    #: cross-region hop delay range; min must stay >= LOOKAHEAD
+    cross_delay: tuple[float, float] = (0.050, 0.080)
+
+    @property
+    def total_events(self) -> int:
+        """Exact event count: one start + one arrival per hop, per chain."""
+        return self.num_chains * (self.hops_per_chain + 1)
+
+
+#: the recorded scenario (100k+ peers, per the acceptance bar)
+RECORD_SCENARIO = ShardScenario()
+
+#: small scenario for CI smoke runs (sub-second on any machine)
+SMOKE_SCENARIO = ShardScenario(num_peers=20_000, num_chains=600, hops_per_chain=120)
+
+#: CI regression floors (see benchmarks/test_shard_scale.py): the
+#: aggregate capacity of the 4-shard smoke run, and the speedup the
+#: recorded artifact must show. Rates are far below reference-machine
+#: numbers (~500k+ events/sec/shard) to absorb slow CI hardware.
+FLOORS = {
+    "smoke_aggregate_events_per_sec": 150_000.0,
+    "record_aggregate_speedup": 3.0,
+}
+
+
+def _mix(seed: int, chain: int, hop: int) -> int:
+    """SplitMix64-style integer hash: the workload's only randomness.
+
+    Stateless, so a chain's draws depend on nothing but ``(seed, chain,
+    hop)`` — not on sharding, event interleaving, or backend.
+    """
+    x = (seed * 0x9E3779B97F4A7C15 + chain * 0xBF58476D1CE4E5B9 + hop * 0x94D049BB133111EB) & _MASK
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+def region_of_peer(peer: int) -> int:
+    return peer % REGIONS
+
+
+def shard_of_region(region: int, num_shards: int) -> int:
+    """Regions map onto shards by contiguous ranges (num_shards <= REGIONS)."""
+    return region * num_shards // REGIONS
+
+
+class RegionWorkload(ShardProgram):
+    """Message chains hopping across a 4-region peer population.
+
+    Each hop draws the next peer and the hop delay from :func:`_mix`;
+    the chain's running checksum folds in every visited peer, so the
+    digest pins the complete path, not just the endpoint.
+    """
+
+    def __init__(self, shard_id: int, num_shards: int, scenario: ShardScenario):
+        self.shard_id = shard_id
+        self.num_shards = num_shards
+        self.scenario = scenario
+        #: (chain, checksum, end_time) of chains that finished here
+        self.finished: list[tuple[int, int, float]] = []
+
+    def start(self, ctx: ShardContext) -> None:
+        scenario = self.scenario
+        for chain in range(scenario.num_chains):
+            origin = _mix(scenario.seed, chain, 0) % scenario.num_peers
+            if shard_of_region(region_of_peer(origin), self.num_shards) != self.shard_id:
+                continue
+            # stagger starts so chains overlap rather than phase-lock
+            start_at = 0.001 * (chain % 97)
+            ctx.schedule(
+                start_at,
+                lambda c=ctx, ch=chain, p=origin: self._hop(
+                    c, ch, p, self.scenario.hops_per_chain, ch & _MASK
+                ),
+            )
+
+    def _hop(
+        self, ctx: ShardContext, chain: int, peer: int, hops_left: int, checksum: int
+    ) -> None:
+        checksum = (checksum * 1_000_003 + peer + 1) & _MASK
+        if hops_left <= 0:
+            self.finished.append((chain, checksum, ctx.now))
+            return
+        scenario = self.scenario
+        hop_index = scenario.hops_per_chain - hops_left + 1
+        draw = _mix(scenario.seed, chain, hop_index)
+        next_peer = draw % scenario.num_peers
+        here, there = region_of_peer(peer), region_of_peer(next_peer)
+        low, high = scenario.local_delay if there == here else scenario.cross_delay
+        delay = low + (high - low) * ((draw >> 32) / (1 << 32))
+        ctx.send(
+            shard_of_region(there, self.num_shards),
+            delay,
+            (chain, next_peer, hops_left - 1, checksum),
+        )
+
+    def on_message(self, ctx: ShardContext, payload) -> None:
+        chain, peer, hops_left, checksum = payload
+        self._hop(ctx, chain, peer, hops_left, checksum)
+
+    def digest(self) -> list[tuple[int, int, float]]:
+        return sorted(self.finished)
+
+
+class _WorkloadFactory:
+    """Picklable factory (the process backend ships it to fork workers)."""
+
+    def __init__(self, scenario: ShardScenario):
+        self.scenario = scenario
+
+    def __call__(self, shard_id: int, num_shards: int, rng) -> RegionWorkload:
+        return RegionWorkload(shard_id, num_shards, self.scenario)
+
+
+def merged_digest(report: ShardRunReport) -> list[tuple[int, int, float]]:
+    """All chains' (id, checksum, end time), shard-independent order."""
+    merged: list[tuple[int, int, float]] = []
+    for digest in report.digests():
+        merged.extend(digest)
+    return sorted(merged)
+
+
+def run_scenario(
+    scenario: ShardScenario,
+    num_shards: int,
+    backend: str = "round_robin",
+) -> ShardRunReport:
+    report = run_sharded(
+        _WorkloadFactory(scenario),
+        num_shards=num_shards,
+        lookahead=LOOKAHEAD,
+        seed=scenario.seed,
+        backend=backend,
+    )
+    if report.processed != scenario.total_events:
+        raise AssertionError(
+            f"scenario dropped events: {report.processed} != {scenario.total_events}"
+        )
+    return report
+
+
+def measure(
+    scenario: ShardScenario, num_shards: int = 4, backend: str = "round_robin"
+) -> dict:
+    """Run 1-shard baseline + N-shard kernel; verify determinism.
+
+    Returns the full measurement payload recorded to BENCH_shard.json.
+    """
+    wall = time.perf_counter()
+    baseline = run_scenario(scenario, num_shards=1)
+    sharded = run_scenario(scenario, num_shards=num_shards, backend=backend)
+    determinism_ok = merged_digest(baseline) == merged_digest(sharded)
+    baseline_rate = baseline.aggregate_events_per_second
+    aggregate_rate = sharded.aggregate_events_per_second
+    return {
+        "scenario": {
+            "num_peers": scenario.num_peers,
+            "num_chains": scenario.num_chains,
+            "hops_per_chain": scenario.hops_per_chain,
+            "total_events": scenario.total_events,
+            "regions": REGIONS,
+            "lookahead_seconds": LOOKAHEAD,
+            "seed": scenario.seed,
+        },
+        "num_shards": num_shards,
+        "backend": backend,
+        "determinism_ok": determinism_ok,
+        "baseline_events_per_sec": baseline_rate,
+        "aggregate_events_per_sec": aggregate_rate,
+        "aggregate_speedup": aggregate_rate / baseline_rate if baseline_rate else 0.0,
+        "wall_events_per_sec": sharded.wall_events_per_second,
+        "wall_seconds": sharded.wall_seconds,
+        "baseline_wall_seconds": baseline.wall_seconds,
+        "windows": sharded.windows,
+        "cross_shard_messages": sharded.cross_messages,
+        "per_shard": [
+            {
+                "shard": s.shard_id,
+                "events": s.processed,
+                "busy_seconds": s.busy_seconds,
+                "events_per_sec": s.events_per_second,
+            }
+            for s in sharded.shards
+        ],
+        "measurement_wall_seconds": time.perf_counter() - wall,
+    }
+
+
+def run(scale: PaperScale = PAPER_SCALE, num_shards: int = 4) -> ExperimentResult:
+    """Runner entry point: smoke scenario at small scale, full at paper."""
+    scenario = RECORD_SCENARIO if scale.name == "paper" else SMOKE_SCENARIO
+    sample = measure(scenario, num_shards=num_shards)
+    rows = [
+        ("peers", float(scenario.num_peers)),
+        ("events", float(scenario.total_events)),
+        ("shards", float(num_shards)),
+        ("baseline_events_per_sec", sample["baseline_events_per_sec"]),
+        ("aggregate_events_per_sec", sample["aggregate_events_per_sec"]),
+        ("aggregate_speedup", sample["aggregate_speedup"]),
+        ("wall_events_per_sec", sample["wall_events_per_sec"]),
+        ("sync_windows", float(sample["windows"])),
+        ("cross_shard_messages", float(sample["cross_shard_messages"])),
+        ("determinism_ok", 1.0 if sample["determinism_ok"] else 0.0),
+    ]
+    return ExperimentResult(
+        experiment_id="ext-shard",
+        title="Ring-sharded kernel: capacity and determinism at 100k+ peers",
+        columns=["metric", "value"],
+        rows=rows,
+        notes=(
+            f"{scenario.num_chains} chains x {scenario.hops_per_chain} hops over "
+            f"{scenario.num_peers} peers in {REGIONS} regions; aggregate rate is "
+            "the sum of per-shard busy-time drain rates (concurrent capacity); "
+            "wall rate is the sequential round-robin drain on this machine; "
+            "determinism_ok=1 means the 1-shard and sharded digests matched"
+        ),
+    )
+
+
+def record(path: str | Path = "BENCH_shard.json", num_shards: int = 4) -> Path:
+    """Measure the full 120k-peer scenario and persist the artifact."""
+    sample = measure(RECORD_SCENARIO, num_shards=num_shards)
+    if not sample["determinism_ok"]:
+        raise AssertionError("1-shard and sharded digests diverged; not recording")
+    payload = {
+        "experiment": "ext-shard",
+        "title": "Ring-sharded kernel: capacity and determinism at 100k+ peers",
+        "floors": FLOORS,
+        "semantics": (
+            "aggregate_events_per_sec sums per-shard busy-time rates: the "
+            "kernel's capacity with shards draining concurrently (the process "
+            "backend realizes it on multi-core hosts). wall_events_per_sec is "
+            "the honest sequential round-robin rate on the recording machine."
+        ),
+        **sample,
+    }
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    return target
+
+
+if __name__ == "__main__":
+    recorded = record()
+    print(recorded.read_text())

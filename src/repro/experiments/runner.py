@@ -23,6 +23,7 @@ from repro.experiments import (
     ext_obs,
     ext_optimizer,
     ext_runtime,
+    ext_shard,
     fig04_replication,
     fig05_result_cdf,
     fig06_union_cdf,
@@ -65,6 +66,7 @@ EXPERIMENTS = {
     "ext-obs": ext_obs.run,
     "ext-optimizer": ext_optimizer.run,
     "ext-runtime": ext_runtime.run,
+    "ext-shard": ext_shard.run,
 }
 
 

@@ -76,6 +76,8 @@ def dynamic_query(
     desired_results: int = DEFAULT_DESIRED_RESULTS,
     max_ttl: int = DEFAULT_MAX_TTL,
     start_ttl: int = 1,
+    transport=None,
+    payload_bytes: int = 0,
 ) -> DynamicQueryResult:
     """Query with iterative deepening until enough results or max TTL."""
     if desired_results < 1:
@@ -83,7 +85,15 @@ def dynamic_query(
     result = DynamicQueryResult(origin=origin, terms=tuple(terms))
     distinct: set[tuple] = set()
     for ttl in range(start_ttl, max_ttl + 1):
-        round_ = flood(topology, indexes, origin, terms, ttl)
+        round_ = flood(
+            topology,
+            indexes,
+            origin,
+            terms,
+            ttl,
+            transport=transport,
+            payload_bytes=payload_bytes,
+        )
         result.rounds.append(round_)
         for match in round_.matches:
             distinct.add(match.file.result_key)

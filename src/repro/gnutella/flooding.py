@@ -15,7 +15,11 @@ from dataclasses import dataclass, field
 
 from repro.gnutella.index import UltrapeerIndex
 from repro.gnutella.topology import Topology
+from repro.net import FloodMessage, Transport
 from repro.workload.library import SharedFile
+
+#: transport category for query edges (one FloodMessage per forwarded copy)
+FLOOD_CATEGORY = "gnutella.query"
 
 #: recent-frequency above which a query counts as popular enough to
 #: flood shallower (roughly: one in fifty recent queries)
@@ -66,6 +70,8 @@ def flood(
     origin: int,
     terms: list[str],
     ttl: int,
+    transport: Transport | None = None,
+    payload_bytes: int = 0,
 ) -> FloodResult:
     """Flood ``terms`` from ultrapeer ``origin`` for ``ttl`` hops.
 
@@ -73,6 +79,11 @@ def flood(
     hop, every ultrapeer that newly received the query forwards it to all
     neighbours except the one it came from; receivers that already saw the
     query discard it (but the message was still sent and is counted).
+
+    When a ``transport`` is supplied, every forwarded edge — duplicates
+    included, since the sender pays for them regardless — is delivered as
+    a :class:`~repro.net.FloodMessage` of ``payload_bytes``, so flood
+    overhead lands on the same bandwidth meter as DHT and PIER traffic.
     """
     if ttl < 0:
         raise ValueError(f"ttl must be >= 0, got {ttl}")
@@ -92,6 +103,16 @@ def flood(
                 if neighbor == parent:
                     continue
                 result.messages += 1
+                if transport is not None:
+                    transport.deliver(
+                        FloodMessage(
+                            source=node,
+                            target=neighbor,
+                            payload_bytes=payload_bytes,
+                            category=FLOOD_CATEGORY,
+                            hop=hop,
+                        )
+                    )
                 if neighbor in result.visited:
                     continue  # duplicate: dropped by receiver
                 result.visited.add(neighbor)
@@ -141,6 +162,8 @@ def adaptive_flood(
     popular_frequency: float = DEFAULT_POPULAR_FREQUENCY,
     min_ttl: int = 1,
     key: tuple | None = None,
+    transport: Transport | None = None,
+    payload_bytes: int = 0,
 ) -> FloodResult:
     """Flood with a TTL scaled down by the query's observed popularity.
 
@@ -162,7 +185,15 @@ def adaptive_flood(
         estimator.frequency(key), max_ttl, popular_frequency, min_ttl
     )
     estimator.observe(key)
-    return flood(topology, indexes, origin, terms, ttl)
+    return flood(
+        topology,
+        indexes,
+        origin,
+        terms,
+        ttl,
+        transport=transport,
+        payload_bytes=payload_bytes,
+    )
 
 
 def _record_matches(

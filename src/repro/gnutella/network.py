@@ -32,10 +32,16 @@ class GnutellaNetwork:
         topology: Topology,
         latency_model: GnutellaLatencyModel | None = None,
         rng: random.Random | int | None = None,
+        transport=None,
+        query_bytes: int = 0,
     ):
         self.topology = topology
         self.latency_model = latency_model or GnutellaLatencyModel()
         self.rng = make_rng(rng)
+        #: optional repro.net transport; when set, every flood edge is
+        #: delivered as a FloodMessage of ``query_bytes`` on it
+        self.transport = transport
+        self.query_bytes = query_bytes
         self.indexes: dict[int, UltrapeerIndex] = {
             ultrapeer: UltrapeerIndex() for ultrapeer in topology.ultrapeers
         }
@@ -83,7 +89,13 @@ class GnutellaNetwork:
     def flood_query(self, origin: int, terms: list[str], ttl: int) -> FloodResult:
         """Plain TTL flood from ``origin`` (a node; leaves go via parent)."""
         return flood(
-            self.topology, self.indexes, self.topology.ultrapeer_of(origin), terms, ttl
+            self.topology,
+            self.indexes,
+            self.topology.ultrapeer_of(origin),
+            terms,
+            ttl,
+            transport=self.transport,
+            payload_bytes=self.query_bytes,
         )
 
     def query(
@@ -101,6 +113,8 @@ class GnutellaNetwork:
             terms,
             desired_results=desired_results,
             max_ttl=max_ttl,
+            transport=self.transport,
+            payload_bytes=self.query_bytes,
         )
 
     def first_result_latency(self, result: DynamicQueryResult) -> float:

@@ -192,6 +192,9 @@ class HybridQueryEngine:
         entry = self._dataflows.get(key)
         if entry is not None and entry[0] is search_engine:
             return entry[1]
+        # Engines on a sharded kernel share one DHT; namespace temp keys
+        # by shard so concurrent queries cannot collide on temp slots.
+        shard_id = getattr(self.sim, "shard_id", None)
         dataflow = DataflowExecutor(
             search_engine.network,
             search_engine.catalog,
@@ -204,6 +207,7 @@ class HybridQueryEngine:
             rng=self.rng,
             tracer=self.tracer,
             metrics=self._wired_metrics,
+            temp_namespace="" if shard_id is None else f"shard{shard_id}|",
         )
         self._dataflows[key] = (search_engine, dataflow)
         return dataflow
@@ -556,11 +560,9 @@ class HybridQueryEngine:
             race.on_done(race)
 
     def _hop_delay(self) -> float:
-        mean = self.config.dht_hop_latency
-        jitter = self.config.hop_jitter
-        if jitter <= 0:
-            return mean
-        return self.rng.uniform(mean * (1 - jitter), mean * (1 + jitter))
+        return self.dht.transport.hop_delay(
+            self.rng, self.config.dht_hop_latency, self.config.hop_jitter
+        )
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -583,3 +585,54 @@ class HybridQueryEngine:
         if self.sim.now <= 0:
             return 0.0
         return self.completed / self.sim.now
+
+
+# ----------------------------------------------------------------------
+# Ring-sharded deployment
+# ----------------------------------------------------------------------
+
+
+def build_sharded_engines(
+    kernel,
+    dht: DhtNetwork,
+    latency_model: GnutellaLatencyModel | None = None,
+    config: RaceConfig | None = None,
+    seed: int = 0,
+    tracer=None,
+    metrics=None,
+) -> list["HybridQueryEngine"]:
+    """One hybrid engine per region shard of a sharded kernel.
+
+    Each engine runs on its shard's clock view
+    (:class:`~repro.sim.shard.ShardView` quacks like a ``Simulator``), so
+    races submitted to different shards drain under the kernel's
+    conservative-lookahead windows while sharing one DHT. Engine RNGs are
+    spawned from ``seed`` with shard-stable labels: shard ``i``'s draw
+    stream is the same whether the kernel has 1 shard or N.
+
+    Route queries with :func:`engine_for_node` — ultrapeers map to shards
+    by the ring position of their DHT node id, the same partition the
+    kernel uses for keys.
+    """
+    from repro.common.rng import spawn_rng
+
+    root = make_rng(seed)
+    return [
+        HybridQueryEngine(
+            kernel.shard(shard_id),
+            dht,
+            latency_model=latency_model,
+            config=config,
+            rng=spawn_rng(root, f"engine.shard.{shard_id}"),
+            tracer=tracer,
+            metrics=metrics,
+        )
+        for shard_id in range(kernel.num_shards)
+    ]
+
+
+def engine_for_node(engines: list["HybridQueryEngine"], node_id: int) -> "HybridQueryEngine":
+    """The shard engine owning ``node_id``'s ring region."""
+    from repro.sim.shard import shard_of_key
+
+    return engines[shard_of_key(node_id, len(engines))]

@@ -1,0 +1,25 @@
+"""repro.net — the explicit communication boundary between nodes.
+
+Typed messages (:mod:`repro.net.messages`) plus transports that charge
+their wire cost and time their delivery (:mod:`repro.net.transport`).
+"""
+
+from repro.net.messages import (
+    Delivery,
+    DirectMessage,
+    FloodMessage,
+    NetMessage,
+    RoutedMessage,
+)
+from repro.net.transport import InProcessTransport, Transport, draw_hop_delay
+
+__all__ = [
+    "Delivery",
+    "DirectMessage",
+    "FloodMessage",
+    "NetMessage",
+    "RoutedMessage",
+    "InProcessTransport",
+    "Transport",
+    "draw_hop_delay",
+]

@@ -1,0 +1,77 @@
+"""Typed cross-node messages: the vocabulary of the transport boundary.
+
+Every interaction that crosses a node boundary — a DHT-routed payload, a
+direct site-to-site transfer, a Gnutella flood edge — is described by one
+of these records before it is handed to a :class:`~repro.net.transport.Transport`
+for charging and (in event-driven scenarios) latency assignment. The
+messages deliberately carry *wire facts only* (endpoints, payload size,
+accounting category, routing shape): the in-process backend never needs
+the payload itself, and a future real-network backend would serialize the
+payload separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetMessage:
+    """Base record for one cross-node interaction.
+
+    ``source``/``target`` are overlay node ids; ``payload_bytes`` is the
+    application payload size *before* framing (the transport applies the
+    cost model's per-message and per-hop framing); ``category`` is the
+    bandwidth-meter bucket the delivery is charged to.
+    """
+
+    source: int
+    target: int
+    payload_bytes: int
+    category: str
+
+
+@dataclass(frozen=True)
+class RoutedMessage(NetMessage):
+    """A payload routed hop by hop through the DHT overlay.
+
+    ``hops`` is the overlay path length (0 when source owns the target
+    key). The transport charges one message per hop — ``max(1, hops)``,
+    since even a self-owned key costs one local delivery — and frames the
+    payload once plus a header per hop (``CostModel.routed_bytes``).
+    """
+
+    hops: int = 0
+
+
+@dataclass(frozen=True)
+class DirectMessage(NetMessage):
+    """A direct (non-routed) transfer: answer delivery, replica copy,
+    key handoff.
+
+    ``copies`` > 1 models a fan-out of identical transfers (e.g. one
+    replica copy per successor), each individually framed — the transport
+    charges ``copies`` messages of ``message_bytes(payload)`` each.
+    """
+
+    copies: int = 1
+
+
+@dataclass(frozen=True)
+class FloodMessage(NetMessage):
+    """One Gnutella query-forward edge at flood depth ``hop``.
+
+    Duplicates (edges into already-visited ultrapeers) are still real
+    messages on the wire and are delivered — and charged — like any
+    other; the receiver simply discards them.
+    """
+
+    hop: int = 0
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """Wire cost the transport assessed for one message delivery."""
+
+    messages: int
+    bytes: int

@@ -59,7 +59,41 @@ def collect_cache(registry: MetricsRegistry, cache: Any, prefix: str = "cache") 
 
 
 def collect_simulator(registry: MetricsRegistry, sim: Any, prefix: str = "sim") -> None:
-    """Engine gauges: virtual clock, lifetime events, queue depth."""
+    """Engine gauges: virtual clock, lifetime events, queue depth.
+
+    Accepts a plain :class:`~repro.sim.engine.Simulator`, a
+    :class:`~repro.sim.shard.ShardedSimulator`, or any iterable of
+    simulators (e.g. one per shard). The aggregate gauges are always
+    emitted under ``prefix``; sharded inputs additionally get one
+    labelled series per shard, so dashboards see both the whole kernel
+    and each region's clock and queue depth.
+    """
+    shards = getattr(sim, "shards", None)
+    if shards is None and not hasattr(sim, "now"):
+        shards = list(sim)  # bare iterable of simulators
+    if shards is not None:
+        registry.gauge(f"{prefix}.virtual_now").set(
+            max((s.now for s in shards), default=0.0)
+        )
+        registry.gauge(f"{prefix}.events_processed").set(sum(s.processed for s in shards))
+        pending = getattr(sim, "pending", None)
+        if pending is None:
+            pending = sum(s.pending for s in shards)
+        registry.gauge(f"{prefix}.events_pending").set(pending)
+        registry.gauge(f"{prefix}.shards").set(len(shards))
+        windows = getattr(sim, "windows", None)
+        if windows is not None:
+            registry.gauge(f"{prefix}.windows").set(windows)
+        for shard_id, shard in enumerate(shards):
+            labels = {"shard": str(shard_id)}
+            registry.gauge(f"{prefix}.shard.virtual_now", labels=labels).set(shard.now)
+            registry.gauge(f"{prefix}.shard.events_processed", labels=labels).set(
+                shard.processed
+            )
+            registry.gauge(f"{prefix}.shard.events_pending", labels=labels).set(
+                shard.pending
+            )
+        return
     registry.gauge(f"{prefix}.virtual_now").set(sim.now)
     registry.gauge(f"{prefix}.events_processed").set(sim.processed)
     registry.gauge(f"{prefix}.events_pending").set(sim.pending)
@@ -71,7 +105,12 @@ def collect_all(
     sim: Any = None,
     caches: dict[str, Any] | None = None,
 ) -> MetricsRegistry:
-    """One-call scrape of every standard subsystem; returns the registry."""
+    """One-call scrape of every standard subsystem; returns the registry.
+
+    ``sim`` may be a single simulator, a sharded simulator, or an
+    iterable of per-shard simulators — :func:`collect_simulator` merges
+    multi-shard inputs into aggregate plus per-shard labelled gauges.
+    """
     if network is not None:
         collect_network(registry, network)
     if sim is not None:

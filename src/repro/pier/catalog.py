@@ -86,18 +86,17 @@ class TableHandle:
         Replicas stored on successor nodes are deduplicated.
         """
         seen: set[tuple] = set()
-        for node in self.network.nodes.values():
-            for _, values in node.store.items():
-                for value in values:
-                    if not isinstance(value, dict):
-                        continue
-                    if set(value) != set(self.schema.columns):
-                        continue
-                    identity = row_identity(self.schema, value)
-                    if identity in seen:
-                        continue
-                    seen.add(identity)
-                    yield value
+        for _, _, values in self.network.stored_items():
+            for value in values:
+                if not isinstance(value, dict):
+                    continue
+                if set(value) != set(self.schema.columns):
+                    continue
+                identity = row_identity(self.schema, value)
+                if identity in seen:
+                    continue
+                seen.add(identity)
+                yield value
 
 
 class Catalog:

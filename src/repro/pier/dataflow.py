@@ -83,14 +83,20 @@ from repro.sim.engine import EventGroup, Simulator
 DEFAULT_BATCH_SIZE = 64
 
 
-def temp_ring_key(query_id: int, stage_index: int, tag: str = "") -> int:
+def temp_ring_key(
+    query_id: int, stage_index: int, tag: str = "", namespace: str = ""
+) -> int:
     """Ring key of a query's temporary tuples at one stage.
 
     Matches the atomic executor's temp-tuple keying (``__temp__|q|s``);
     ``tag`` distinguishes extra streams such as join spill partitions.
+    ``namespace`` isolates executors that share one DHT — per-executor
+    query counters restart at zero, so concurrent queries from e.g. two
+    shard engines would otherwise collide on temp slots. The default
+    empty namespace hashes identically to the historical keying.
     """
     suffix = f"|{tag}" if tag else ""
-    return hash_key(f"__temp__|q{query_id}|s{stage_index}{suffix}")
+    return hash_key(f"__temp__|{namespace}q{query_id}|s{stage_index}{suffix}")
 
 
 def route_hops(network: DhtNetwork, origin: int, key_owner: int) -> int:
@@ -251,6 +257,7 @@ class DataflowExecutor:
         rng=None,
         tracer=None,
         metrics=None,
+        temp_namespace: str = "",
     ):
         self.network = network
         self.catalog = catalog
@@ -259,6 +266,10 @@ class DataflowExecutor:
         self.config = config or DataflowConfig()
         self.rng = make_rng(rng)
         self._query_counter = 0
+        #: temp-key namespace — executors sharing one DHT (e.g. one per
+        #: ring shard) must not collide on ``__temp__`` slots, since each
+        #: restarts its query counter at zero
+        self.temp_namespace = temp_namespace
         #: observability hooks (:mod:`repro.obs`); both default to None and
         #: every call site guards on that, so the disabled path costs one
         #: branch — never an allocation
@@ -335,11 +346,9 @@ class DataflowExecutor:
     # ------------------------------------------------------------------
 
     def hop_delay(self) -> float:
-        mean = self.config.hop_latency
-        jitter = self.config.hop_jitter
-        if jitter <= 0:
-            return mean
-        return self.rng.uniform(mean * (1 - jitter), mean * (1 + jitter))
+        return self.network.transport.hop_delay(
+            self.rng, self.config.hop_latency, self.config.hop_jitter
+        )
 
 
 # ----------------------------------------------------------------------
@@ -366,14 +375,19 @@ class _DhtSpillSink(SpillSink):
         self.run = run
         self.site = site
         self.keys = {
-            side: temp_ring_key(run.query_id, stage_index, f"spill-{side}")
+            side: temp_ring_key(
+                run.query_id,
+                stage_index,
+                f"spill-{side}",
+                namespace=run.executor.temp_namespace,
+            )
             for side in ("left", "right")
         }
         self._counts = {"left": 0, "right": 0}
         self._index: dict[str, dict[Any, list[Row]]] = {"left": {}, "right": {}}
 
-    def _node(self):
-        return self.run.executor.network.nodes.get(self.site)
+    def _site_alive(self) -> bool:
+        return self.site in self.run.executor.network.nodes
 
     def write(self, side: str, rows: list[Row]) -> None:
         run = self.run
@@ -386,16 +400,19 @@ class _DhtSpillSink(SpillSink):
                 spill_bytes = len(rows) * run.executor.cost_model.rehash_tuple_bytes()
                 run.metrics.counter("operator.spill.rows").add(len(rows))
                 run.metrics.counter("operator.spill.bytes").add(spill_bytes)
-        node = self._node()
-        if node is None:  # site churned out: keep state in memory instead
+        if not self._site_alive():  # site churned out: keep state in memory
             super().write(side, rows)
             return
         key = self.keys[side]
+        network = self.run.executor.network
         partition = self._index[side]
         if rows:
             self.run.register_temp_key(self.site, key)
         for row in rows:
-            node.store.put(key, dict(row), identity=(side, self._counts[side]))
+            network.put_local(
+                self.site, key, dict(row), identity=(side, self._counts[side]),
+                missing_ok=True,
+            )
             self._counts[side] += 1
             partition.setdefault(row[self.column], []).append(row)
         self.spilled_rows += len(rows)
@@ -1139,9 +1156,7 @@ class _QueryRun:
 
     def _release_temp_keys(self) -> None:
         for site, key in self._temp_keys:
-            node = self.executor.network.nodes.get(site)
-            if node is not None:
-                node.store.remove_key(key)
+            self.executor.network.remove_local(site, key)
         self._temp_keys.clear()
 
     def _route_hops(self, origin: int, key_owner: int) -> int:
@@ -1150,7 +1165,7 @@ class _QueryRun:
     def _charge(self, category: str, messages: int, byte_count: int) -> None:
         self.stats.messages += messages
         self.stats.bytes += byte_count
-        self.executor.network.meter.charge(category, messages, byte_count)
+        self.executor.network.transport.charge(category, messages, byte_count)
 
 
 class _BloomProbeStage:

@@ -199,9 +199,10 @@ class DistributedExecutor:
         from repro.pier.dataflow import temp_ring_key
 
         key = temp_ring_key(self._query_counter, stage_index)
-        node = self.network.nodes[site]
         for position, row in enumerate(rows):
-            node.store.put(key, dict(row), identity=(position, row.get("fileID")))
+            self.network.put_local(
+                site, key, dict(row), identity=(position, row.get("fileID"))
+            )
         self._temp_keys.append((site, key))
 
     def temp_tuples_at(self, site: int, stage_index: int, query_id: int | None = None) -> list[Row]:
@@ -220,9 +221,7 @@ class DistributedExecutor:
         """Drop temp tuples stashed at or after ``start``; returns count."""
         removed = 0
         for site, key in self._temp_keys[start:]:
-            node = self.network.nodes.get(site)
-            if node is not None:
-                removed += node.store.remove_key(key)
+            removed += self.network.remove_local(site, key)
         del self._temp_keys[start:]
         return removed
 
@@ -566,4 +565,4 @@ class DistributedExecutor:
     def _charge(self, stats: QueryStats, category: str, messages: int, byte_count: int) -> None:
         stats.messages += messages
         stats.bytes += byte_count
-        self.network.meter.charge(category, messages, byte_count)
+        self.network.transport.charge(category, messages, byte_count)

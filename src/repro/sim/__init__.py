@@ -10,12 +10,26 @@ counters and histograms that the experiment harness reports.
 from repro.sim.engine import Event, EventGroup, Simulator
 from repro.sim.latency import LatencyModel, TwoContinentLatencyModel, UniformLatencyModel
 from repro.sim.network import Message, SimNetwork
+from repro.sim.shard import (
+    ShardContext,
+    ShardProgram,
+    ShardRunReport,
+    ShardedSimulator,
+    run_sharded,
+    shard_of_key,
+)
 from repro.sim.stats import Counter, Gauge, Histogram, StatsRegistry
 
 __all__ = [
     "Event",
     "EventGroup",
     "Simulator",
+    "ShardContext",
+    "ShardProgram",
+    "ShardRunReport",
+    "ShardedSimulator",
+    "run_sharded",
+    "shard_of_key",
     "LatencyModel",
     "TwoContinentLatencyModel",
     "UniformLatencyModel",

@@ -109,11 +109,7 @@ class Simulator:
         #: hook; assignable per-simulator)
         self.profiler = _profiler
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` to fire ``delay`` time units from now."""
-        if delay < 0:
-            raise ValueError(f"cannot schedule into the past (delay={delay})")
-        time = self.now + delay
+    def _push(self, time: float, callback: Callable[[], None]) -> Event:
         seq = self._next_seq
         self._next_seq = seq + 1
         event = Event(time, seq, callback, self)
@@ -121,9 +117,25 @@ class Simulator:
         self._live += 1
         return event
 
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self._push(self.now + delay, callback)
+
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` at an absolute virtual time."""
-        return self.schedule(time - self.now, callback)
+        """Schedule ``callback`` at an absolute virtual time.
+
+        The event fires at exactly ``time`` — not ``now + (time - now)``,
+        which can differ by an ulp. Cross-shard delivery relies on this:
+        an arrival time computed on the source shard must reproduce
+        bit-identically on the destination.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule into the past (time={time} < now={self.now})"
+            )
+        return self._push(time, callback)
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Drain the event queue.
@@ -249,7 +261,12 @@ class EventGroup:
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event | None:
         """Schedule at an absolute virtual time; None if already cancelled."""
-        return self.schedule(time - self.sim.now, callback)
+        if self.cancelled:
+            return None
+        event = self.sim.schedule_at(time, callback)
+        event._group = self
+        self._events[event.seq] = event
+        return event
 
     def cancel(self) -> int:
         """Cancel every still-pending event; returns how many were live."""

@@ -41,11 +41,15 @@ class SimNetwork:
         sim: Simulator,
         latency: LatencyModel | None = None,
         rng: random.Random | None = None,
+        transport=None,
     ):
         self.sim = sim
         self.latency = latency or UniformLatencyModel()
         self.rng = rng or random.Random(0)
         self.meter = BandwidthMeter()
+        #: optional repro.net transport; when set, charges route through it
+        #: (and land on its meter) instead of this network's own meter
+        self.transport = transport
         self._handlers: dict[int, Handler] = {}
         self._partitioned: set[int] = set()
         self.dropped = 0
@@ -75,7 +79,10 @@ class SimNetwork:
         overlay sees.
         """
         message.sent_at = self.sim.now
-        self.meter.charge(message.kind, 1, message.size_bytes)
+        if self.transport is not None:
+            self.transport.charge(message.kind, 1, message.size_bytes)
+        else:
+            self.meter.charge(message.kind, 1, message.size_bytes)
         if (
             message.destination not in self._handlers
             or message.destination in self._partitioned

@@ -1,0 +1,127 @@
+"""Boundary lint: nothing outside ``repro.dht`` pokes node internals.
+
+The PR that introduced :mod:`repro.net` moved every cross-node
+interaction — routed puts/gets, replica copies, temp-key stashing,
+bandwidth charging — behind the :class:`~repro.dht.network.DhtNetwork`
+public API and its transport. This AST-level lint keeps it that way: a
+regression that reaches into ``DhtNode`` objects, per-node ``.store``
+local storage, or the raw bandwidth meter from outside the owning
+package fails here with the offending file and line.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: modules allowed to touch DhtNode / LocalStore internals
+DHT_INTERNAL = ("repro/dht/",)
+#: modules allowed to charge a BandwidthMeter directly: the transport
+#: itself, and the sim substrate's own meter (its fallback path when no
+#: transport is wired)
+METER_CHARGERS = ("repro/net/", "repro/sim/network.py", "repro/common/units.py")
+
+#: attribute names that expose DhtNode internals
+FORBIDDEN_ATTRS = {"store", "successors"}
+#: imports that bypass the DhtNetwork facade
+FORBIDDEN_IMPORTS = {"repro.dht.node", "repro.dht.storage"}
+
+
+def _module_files() -> list[Path]:
+    files = sorted(SRC.rglob("*.py"))
+    assert files, f"no sources under {SRC}"
+    return files
+
+
+def _relative(path: Path) -> str:
+    return path.relative_to(SRC.parent).as_posix()
+
+
+def _exempt(path: Path, prefixes: tuple[str, ...]) -> bool:
+    rel = path.relative_to(SRC.parent / "repro").as_posix()
+    return any(rel.startswith(p.removeprefix("repro/")) for p in prefixes)
+
+
+def _violations_in(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    out: list[str] = []
+    check_internals = not _exempt(path, DHT_INTERNAL)
+    check_meter = not _exempt(path, METER_CHARGERS)
+    for node in ast.walk(tree):
+        if check_internals and isinstance(node, ast.Attribute):
+            if node.attr in FORBIDDEN_ATTRS:
+                out.append(
+                    f"{_relative(path)}:{node.lineno}: attribute .{node.attr} "
+                    "reaches into DhtNode internals — use the DhtNetwork "
+                    "local-store API (put_local/get_local/stored_items/...)"
+                )
+        if check_internals and isinstance(node, ast.ImportFrom):
+            if node.module in FORBIDDEN_IMPORTS:
+                out.append(
+                    f"{_relative(path)}:{node.lineno}: import of {node.module} "
+                    "bypasses the DhtNetwork facade"
+                )
+        if check_internals and isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in FORBIDDEN_IMPORTS:
+                    out.append(
+                        f"{_relative(path)}:{alias.lineno if hasattr(alias, 'lineno') else node.lineno}: "
+                        f"import of {alias.name} bypasses the DhtNetwork facade"
+                    )
+        if check_meter and isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "charge"
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "meter"
+            ):
+                out.append(
+                    f"{_relative(path)}:{node.lineno}: direct meter.charge() — "
+                    "route wire costs through the repro.net transport"
+                )
+    return out
+
+
+def test_no_module_outside_dht_touches_node_internals():
+    violations: list[str] = []
+    for path in _module_files():
+        violations.extend(_violations_in(path))
+    assert not violations, "transport-boundary violations:\n" + "\n".join(violations)
+
+
+def test_lint_actually_detects_violations():
+    """Self-check: the walker flags each forbidden pattern."""
+    snippets = {
+        "attr": "def f(n):\n    return n.store.get(1)\n",
+        "import_from": "from repro.dht.storage import LocalStore\n",
+        "import": "import repro.dht.node\n",
+        "meter": "def f(net):\n    net.meter.charge('x', 1, 2)\n",
+    }
+    probe = SRC / "pier" / "_lint_probe.py"  # virtual path outside exemptions
+    for name, code in snippets.items():
+        tree = ast.parse(code)
+        hits = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and node.attr in FORBIDDEN_ATTRS:
+                hits.append(node)
+            if isinstance(node, ast.ImportFrom) and node.module in FORBIDDEN_IMPORTS:
+                hits.append(node)
+            if isinstance(node, ast.Import) and any(
+                a.name in FORBIDDEN_IMPORTS for a in node.names
+            ):
+                hits.append(node)
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "charge"
+                and isinstance(node.func.value, ast.Attribute)
+                and node.func.value.attr == "meter"
+            ):
+                hits.append(node)
+        assert hits, f"lint failed to flag the {name!r} pattern"
+    assert not _exempt(probe, DHT_INTERNAL)
+    assert _exempt(SRC / "dht" / "network.py", DHT_INTERNAL)
+    assert _exempt(SRC / "sim" / "network.py", METER_CHARGERS)

@@ -1,0 +1,120 @@
+"""Unit tests for the repro.net transport boundary.
+
+The in-process backend must charge exactly what the pre-boundary inline
+code charged — these tests pin that contract message type by message
+type, plus the latency-draw and lookahead helpers the sharded kernel
+depends on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.units import BandwidthMeter, CostModel
+from repro.net import (
+    Delivery,
+    DirectMessage,
+    FloodMessage,
+    InProcessTransport,
+    NetMessage,
+    RoutedMessage,
+    draw_hop_delay,
+)
+
+
+@pytest.fixture
+def transport() -> InProcessTransport:
+    return InProcessTransport(BandwidthMeter(), CostModel())
+
+
+def test_routed_message_charges_hops_and_framing(transport):
+    cost = transport.cost_model
+    delivery = transport.deliver(
+        RoutedMessage(source=1, target=2, payload_bytes=100, category="put", hops=4)
+    )
+    assert delivery == Delivery(messages=4, bytes=cost.routed_bytes(100, 4))
+    assert transport.meter.messages == 4
+    assert transport.meter.bytes == cost.routed_bytes(100, 4)
+    assert transport.meter.by_category["put"].messages == 4
+
+
+def test_routed_message_zero_hops_still_costs_one_message(transport):
+    delivery = transport.deliver(
+        RoutedMessage(source=1, target=1, payload_bytes=10, category="put", hops=0)
+    )
+    assert delivery.messages == 1
+    assert delivery.bytes == transport.cost_model.routed_bytes(10, 0)
+
+
+def test_direct_message_charges_per_copy(transport):
+    cost = transport.cost_model
+    delivery = transport.deliver(
+        DirectMessage(source=1, target=2, payload_bytes=50, category="replica", copies=3)
+    )
+    assert delivery == Delivery(messages=3, bytes=3 * cost.message_bytes(50))
+    assert transport.meter.by_category["replica"].bytes == 3 * cost.message_bytes(50)
+
+
+def test_flood_message_is_one_framed_message(transport):
+    cost = transport.cost_model
+    delivery = transport.deliver(
+        FloodMessage(source=7, target=8, payload_bytes=30, category="gnutella.query", hop=2)
+    )
+    assert delivery == Delivery(messages=1, bytes=cost.message_bytes(30))
+
+
+def test_unknown_message_type_rejected(transport):
+    with pytest.raises(TypeError):
+        transport.deliver(NetMessage(source=1, target=2, payload_bytes=1, category="x"))
+
+
+def test_charge_passthrough_hits_meter(transport):
+    transport.charge("custom", 5, 123)
+    assert transport.meter.messages == 5
+    assert transport.meter.bytes == 123
+    assert transport.meter.by_category["custom"].messages == 5
+
+
+def test_deliveries_accumulate_on_shared_meter(transport):
+    transport.deliver(RoutedMessage(source=1, target=2, payload_bytes=10, category="a", hops=2))
+    transport.deliver(DirectMessage(source=2, target=3, payload_bytes=10, category="b", copies=2))
+    cost = transport.cost_model
+    assert transport.meter.messages == 4
+    assert transport.meter.bytes == cost.routed_bytes(10, 2) + 2 * cost.message_bytes(10)
+
+
+def test_hop_delay_matches_inline_draw():
+    """Transport draws must replay the exact pre-boundary RNG sequence."""
+    mean, jitter = 0.05, 0.2
+    a, b = random.Random(42), random.Random(42)
+    transport = InProcessTransport(BandwidthMeter(), CostModel())
+    for _ in range(100):
+        expected = a.uniform(mean * (1 - jitter), mean * (1 + jitter))
+        assert transport.hop_delay(b, mean, jitter) == expected
+
+
+def test_hop_delay_zero_jitter_is_deterministic_and_burns_no_rng():
+    rng = random.Random(7)
+    state = rng.getstate()
+    assert draw_hop_delay(rng, 0.08, 0.0) == 0.08
+    assert rng.getstate() == state
+
+
+def test_min_hop_delay_bounds_draws():
+    transport = InProcessTransport(BandwidthMeter(), CostModel())
+    rng = random.Random(3)
+    mean, jitter = 0.05, 0.3
+    floor = transport.min_hop_delay(mean, jitter)
+    assert floor == pytest.approx(mean * (1 - jitter))
+    for _ in range(500):
+        assert transport.hop_delay(rng, mean, jitter) >= floor
+    # negative jitter never raises the floor above the mean
+    assert transport.min_hop_delay(mean, -1.0) == mean
+
+
+def test_messages_are_frozen():
+    message = RoutedMessage(source=1, target=2, payload_bytes=3, category="x", hops=1)
+    with pytest.raises(Exception):
+        message.hops = 2

@@ -10,6 +10,7 @@ from repro.obs.collect import (
 )
 from repro.obs.metrics import MetricsRegistry, validate_prometheus
 from repro.sim.engine import Simulator
+from repro.sim.shard import ShardedSimulator
 
 
 def small_network():
@@ -85,6 +86,37 @@ class TestCacheAndSimCollectors:
         assert registry.gauge("sim.virtual_now").value == 1.5
         assert registry.gauge("sim.events_processed").value == 1
         assert registry.gauge("sim.events_pending").value == 1
+
+    def test_sharded_simulator_gauges(self):
+        kernel = ShardedSimulator(num_shards=2, lookahead=0.05)
+        kernel.shard(0).schedule(1.0, lambda: None)
+        kernel.shard(1).schedule(2.0, lambda: None)
+        kernel.shard(1).schedule(3.0, lambda: None)
+        kernel.run(until=2.5)
+        registry = MetricsRegistry()
+        collect_simulator(registry, kernel)
+        assert registry.gauge("sim.virtual_now").value == 2.5
+        assert registry.gauge("sim.events_processed").value == 2
+        assert registry.gauge("sim.events_pending").value == 1
+        assert registry.gauge("sim.shards").value == 2
+        assert registry.gauge(
+            "sim.shard.events_processed", labels={"shard": "0"}
+        ).value == 1
+        assert registry.gauge(
+            "sim.shard.events_pending", labels={"shard": "1"}
+        ).value == 1
+
+    def test_iterable_of_simulators_aggregates(self):
+        sims = [Simulator(), Simulator()]
+        sims[0].schedule(1.0, lambda: None)
+        sims[1].schedule(2.0, lambda: None)
+        sims[0].run()
+        registry = MetricsRegistry()
+        collect_simulator(registry, sims)
+        assert registry.gauge("sim.virtual_now").value == 1.0
+        assert registry.gauge("sim.events_processed").value == 1
+        assert registry.gauge("sim.events_pending").value == 1
+        assert registry.gauge("sim.shards").value == 2
 
 
 class TestCollectAll:
