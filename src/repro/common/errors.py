@@ -21,6 +21,16 @@ class NodeNotFoundError(DhtError):
     """An operation referenced a node id that is not part of the network."""
 
 
+class ShardWorkerError(ReproError):
+    """A sharded-simulation worker process failed or died mid-run.
+
+    Raised by the process backend when a worker's pipe breaks (the fork
+    was killed or crashed) or when the worker reports an exception; the
+    parent terminates the remaining workers before raising, so no
+    orphaned forks survive the failure.
+    """
+
+
 class SchemaError(ReproError):
     """A tuple did not conform to its table schema."""
 

@@ -9,7 +9,6 @@ message overheads the paper's model predicts (O(log N) per operation).
 
 from __future__ import annotations
 
-import bisect
 import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
@@ -18,8 +17,8 @@ from repro.common.errors import DhtError, KeyNotFoundError, NodeNotFoundError
 from repro.common.ids import KEY_SPACE, hash_key, in_interval
 from repro.common.rng import make_rng
 from repro.common.units import BandwidthMeter, CostModel, DEFAULT_COST_MODEL
-from repro.dht.keyspace import responsible_node
 from repro.dht.node import DhtNode
+from repro.dht.ring import COMPACT_SHIFT, Ring, RingCell, RingSnapshot
 from repro.net.messages import DirectMessage, RoutedMessage
 from repro.net.transport import InProcessTransport, Transport
 
@@ -79,6 +78,8 @@ class DhtNetwork:
         rng: random.Random | int | None = None,
         route_cache: bool = True,
         transport: Transport | None = None,
+        compact_ids: bool = False,
+        lazy_routing: bool = True,
     ):
         if replication < 1:
             raise ValueError(f"replication must be >= 1, got {replication}")
@@ -87,7 +88,20 @@ class DhtNetwork:
         self.cost_model = cost_model or DEFAULT_COST_MODEL
         self.rng = make_rng(rng)
         self.nodes: dict[int, DhtNode] = {}
-        self._ring: list[int] = []  # sorted node ids
+        #: random node ids restricted to multiples of 2**96 so the ring
+        #: packs into a sorted ``array('Q')`` — 8 bytes/peer membership
+        #: (see :mod:`repro.dht.ring`); identical routing semantics
+        self.compact_ids = compact_ids
+        #: fingers/successors derived lazily from the stabilize snapshot
+        #: instead of materialized per node per stabilize; ``False`` keeps
+        #: the eager reference path for equivalence testing
+        self.lazy_routing = lazy_routing
+        self._ring = Ring(compact=compact_ids)  # sorted node ids
+        self._ring_cell = RingCell()
+        #: bumped once per stabilize call: snapshot versions must move on
+        #: *every* stabilize (eager rebuilds unconditionally), not only
+        #: when membership changed
+        self._stabilize_serial = 0
         self.meter = BandwidthMeter()
         #: every cross-node byte flows through this boundary (typed
         #: messages, charged to the meter); swap it to re-target the same
@@ -130,25 +144,34 @@ class DhtNetwork:
         this, every join would silently orphan the slice it takes over.
         """
         if node_id is None:
-            node_id = self.rng.getrandbits(160)
+            node_id = self._random_id()
         if node_id in self.nodes:
             raise DhtError(f"node id {node_id:x} already present")
-        node = DhtNode(node_id, successor_count=self.successor_count)
+        node = DhtNode(
+            node_id,
+            successor_count=self.successor_count,
+            ring_cell=self._ring_cell if self.lazy_routing else None,
+        )
+        self._ring.add(node_id)
         self.nodes[node_id] = node
-        bisect.insort(self._ring, node_id)
         self._stale = True
         self.membership_version += 1
         if len(self._ring) > 1:
-            index = bisect.bisect_left(self._ring, node_id)
+            index = self._ring.index_of(node_id)
             successor_id = self._ring[(index + 1) % len(self._ring)]
             predecessor_id = self._ring[index - 1]
             source = self.nodes[successor_id]
             moved = 0
-            claimed = [
-                key
-                for key in list(source.store.keys())
-                if in_interval(key, predecessor_id, node_id, inclusive_end=True)
-            ]
+            source_store = source._store
+            claimed = (
+                [
+                    key
+                    for key in list(source_store.keys())
+                    if in_interval(key, predecessor_id, node_id, inclusive_end=True)
+                ]
+                if source_store is not None
+                else []
+            )
             for key in claimed:
                 for value in source.store.get(key):
                     node.store.put(key, value, identity=_identity(value))
@@ -166,8 +189,36 @@ class DhtNetwork:
                 )
         return node
 
+    def _random_id(self) -> int:
+        if self.compact_ids:
+            return self.rng.getrandbits(64) << COMPACT_SHIFT
+        return self.rng.getrandbits(160)
+
     def populate(self, count: int) -> list[DhtNode]:
-        """Create ``count`` nodes with random ids and stabilize the ring."""
+        """Create ``count`` nodes with random ids and stabilize the ring.
+
+        On an empty network this takes a bulk path: draw every id (same
+        RNG sequence as the incremental path), sort once, and publish one
+        snapshot — O(n log n) instead of the O(n^2) list shuffling that n
+        insorts cost, which is what makes million-peer construction
+        practical. With no stored data and no prior members the bulk path
+        is observably identical to n ``create_node`` calls: no handoffs
+        occur and nothing is metered either way.
+        """
+        if not self.nodes and count > 0:
+            node_ids = [self._random_id() for _ in range(count)]
+            if len(set(node_ids)) != count:
+                raise DhtError("duplicate random node id during populate")
+            cell = self._ring_cell if self.lazy_routing else None
+            self.nodes = {
+                nid: DhtNode(nid, successor_count=self.successor_count, ring_cell=cell)
+                for nid in node_ids
+            }
+            self._ring.bulk_load(node_ids)
+            self.membership_version += count
+            self._stale = True
+            self.stabilize()
+            return [self.nodes[nid] for nid in node_ids]
         nodes = [self.create_node() for _ in range(count)]
         self.stabilize()
         return nodes
@@ -180,12 +231,11 @@ class DhtNetwork:
         node = self.nodes.pop(node_id, None)
         if node is None:
             raise NodeNotFoundError(f"unknown node {node_id:x}")
-        index = bisect.bisect_left(self._ring, node_id)
-        self._ring.pop(index)
+        self._ring.discard(node_id)
         self._stale = True
         self.membership_version += 1
-        if graceful and self._ring:
-            successor = responsible_node(self._ring, node_id)
+        if graceful and len(self._ring) and node._store is not None:
+            successor = self._ring.responsible(node_id)
             target = self.nodes[successor]
             moved = 0
             for key, values in node.store.items():
@@ -213,9 +263,21 @@ class DhtNetwork:
             self.removal_listener(node_id)
 
     def stabilize(self) -> None:
-        """Refresh every node's routing state from the current ring."""
-        for node in self.nodes.values():
-            node.update_routing(self._ring)
+        """Refresh every node's routing state from the current ring.
+
+        Lazy mode (the default) publishes one immutable ring snapshot —
+        an O(n) copy — and nodes derive their tables from it on first
+        use. Eager mode rebuilds every node's tables right here, which is
+        the historical reference behavior the lazy path is pinned
+        against (see tests/test_dht_ring_equivalence.py).
+        """
+        if self.lazy_routing:
+            self._stabilize_serial += 1
+            self._ring_cell.snapshot = RingSnapshot(self._stabilize_serial, self._ring)
+        else:
+            ring = self._ring.tolist()
+            for node in self.nodes.values():
+                node.update_routing(ring)
         self._stale = False
 
     def _ensure_stable(self) -> None:
@@ -237,9 +299,9 @@ class DhtNetwork:
 
     def owner_of(self, key: int) -> int:
         """Responsible node for ``key`` (oracle view, no messages charged)."""
-        if not self._ring:
+        if not len(self._ring):
             raise DhtError("empty network")
-        return responsible_node(self._ring, key % KEY_SPACE)
+        return self._ring.responsible(key)
 
     # ------------------------------------------------------------------
     # Replica-aware reads (driven by repro.cache.replication)
@@ -316,7 +378,7 @@ class DhtNetwork:
         if self._route_cache_epoch != self.membership_version:
             self._route_cache.clear()
             self._route_cache_epoch = self.membership_version
-        owner = responsible_node(self._ring, key)
+        owner = self._ring.responsible(key)
         cache_key = (origin, owner, key == owner)
         cached = self._route_cache.get(cache_key)
         if cached is not None:
@@ -719,7 +781,10 @@ class DhtNetwork:
         else:
             members = self.nodes.items()
         for member_id, node in members:
-            for key, values in node.store.items():
+            store = node._store
+            if store is None:
+                continue
+            for key, values in store.items():
                 yield member_id, key, values
 
     def successors_of(self, node_id: int) -> list[int]:
@@ -730,7 +795,11 @@ class DhtNetwork:
         return list(node.successors)
 
     def total_stored(self) -> int:
-        return sum(len(node.store) for node in self.nodes.values())
+        # _store stays None until a node stores something; skipping the
+        # untouched ones keeps this scan allocation-free at scale.
+        return sum(
+            len(node._store) for node in self.nodes.values() if node._store is not None
+        )
 
 
 def _identity(value: Any) -> Hashable:

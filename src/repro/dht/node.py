@@ -4,6 +4,14 @@ Each node knows only its own routing state: a finger table (successor of
 n + 2^i for each i) and a short successor list for fault tolerance.
 Routing decisions use exclusively this local state, so measured hop counts
 are honest Chord hop counts, not artifacts of global knowledge.
+
+The node is slotted and lazy so a million of them fit in RAM: fingers,
+successors, and predecessor are derived on first use from the network's
+published :class:`~repro.dht.ring.RingSnapshot` (keyed by the snapshot
+version), and the local store is only allocated when something is stored.
+The eager :meth:`update_routing` path is kept as the reference
+implementation — standalone nodes (no snapshot cell) and equivalence
+tests use it, and the lazy derivation is pinned byte-identical to it.
 """
 
 from __future__ import annotations
@@ -16,16 +24,99 @@ from repro.dht.storage import LocalStore
 class DhtNode:
     """State of one DHT node: id, fingers, successors, and local storage."""
 
-    def __init__(self, node_id: int, successor_count: int = 8):
+    __slots__ = (
+        "node_id",
+        "successor_count",
+        "alive",
+        "_fingers",
+        "_successors",
+        "_predecessor",
+        "_store",
+        "_ring_cell",
+        "_routed_version",
+    )
+
+    def __init__(self, node_id: int, successor_count: int = 8, ring_cell=None):
         self.node_id = node_id
         self.successor_count = successor_count
-        self.fingers: list[int] = []  # fingers[i] = successor(node_id + 2^i)
-        self.successors: list[int] = []
-        self.predecessor: int | None = None
-        self.store = LocalStore()
         self.alive = True
+        self._fingers: list[int] | None = None
+        self._successors: list[int] | None = None
+        self._predecessor: int | None = None
+        self._store: LocalStore | None = None
+        #: shared slot holding the network's latest stabilize snapshot
+        #: (None for standalone nodes driven via :meth:`update_routing`)
+        self._ring_cell = ring_cell
+        #: snapshot version the current tables were derived from
+        self._routed_version: int | None = None
 
-    def update_routing(self, sorted_ids: list[int]) -> None:
+    # -- storage (lazy) ------------------------------------------------
+
+    @property
+    def store(self) -> LocalStore:
+        """The node's local store, allocated on first touch."""
+        store = self._store
+        if store is None:
+            store = self._store = LocalStore()
+        return store
+
+    # -- routing tables (lazy, snapshot-derived) -----------------------
+
+    def _refresh(self) -> None:
+        """Derive tables from the current snapshot if it moved.
+
+        A node absent from the snapshot (joined after the last stabilize)
+        keeps whatever tables it has — empty for a fresh node — exactly
+        matching the eager path, where stabilize never ran for it.
+        """
+        cell = self._ring_cell
+        if cell is None:
+            return
+        snapshot = cell.snapshot
+        if snapshot is None or snapshot.version == self._routed_version:
+            return
+        if not snapshot.contains(self.node_id):
+            return
+        self._fingers = snapshot.fingers_of(self.node_id)
+        self._successors = snapshot.successors_of(self.node_id, self.successor_count)
+        self._predecessor = snapshot.predecessor_of(self.node_id)
+        self._routed_version = snapshot.version
+
+    @property
+    def fingers(self) -> list[int]:
+        """fingers[i] = successor(node_id + 2^i), consecutive dups dropped."""
+        self._refresh()
+        return self._fingers if self._fingers is not None else []
+
+    @fingers.setter
+    def fingers(self, value: list[int]) -> None:
+        # Materialize the other tables from the current snapshot first so
+        # an explicit assignment sticks (and only it) until the next
+        # stabilize, exactly as under eager routing.
+        self._refresh()
+        self._fingers = value
+
+    @property
+    def successors(self) -> list[int]:
+        self._refresh()
+        return self._successors if self._successors is not None else []
+
+    @successors.setter
+    def successors(self, value: list[int]) -> None:
+        self._refresh()
+        self._successors = value
+
+    @property
+    def predecessor(self) -> int | None:
+        self._refresh()
+        return self._predecessor
+
+    @predecessor.setter
+    def predecessor(self, value: int | None) -> None:
+        self._refresh()
+        self._predecessor = value
+
+    def update_routing(self, sorted_ids) -> None:
         """Refresh fingers and successor list from the current ring.
 
         This plays the role of Chord's periodic stabilization: in a real
@@ -33,29 +124,38 @@ class DhtNode:
         facade hands us the (already known) ring membership. Routing itself
         still uses only this node's table.
         """
+        import bisect
+
         from repro.dht.keyspace import responsible_node, successor_list
 
-        self.fingers = []
+        fingers: list[int] = []
         previous = None
         for index in range(KEY_BITS):
             target = finger_start(self.node_id, index)
             owner = responsible_node(sorted_ids, target)
             # Dedup consecutive identical fingers to keep the table small.
             if owner != previous:
-                self.fingers.append(owner)
+                fingers.append(owner)
                 previous = owner
-        self.successors = successor_list(sorted_ids, self.node_id, self.successor_count)
-        index = sorted_ids.index(self.node_id)
-        self.predecessor = sorted_ids[index - 1] if len(sorted_ids) > 1 else None
+        self._fingers = fingers
+        self._successors = successor_list(sorted_ids, self.node_id, self.successor_count)
+        index = bisect.bisect_left(sorted_ids, self.node_id)
+        self._predecessor = sorted_ids[index - 1] if len(sorted_ids) > 1 else None
+        # Pin the tables to the current snapshot epoch so a lazy refresh
+        # does not immediately overwrite an explicit update.
+        cell = self._ring_cell
+        if cell is not None and cell.snapshot is not None:
+            self._routed_version = cell.snapshot.version
 
     def owns(self, key: int) -> bool:
         """True if this node is responsible for ``key``.
 
         A node owns the interval (predecessor, self].
         """
-        if self.predecessor is None:
+        predecessor = self.predecessor
+        if predecessor is None:
             return True
-        return in_interval(key, self.predecessor, self.node_id, inclusive_end=True)
+        return in_interval(key, predecessor, self.node_id, inclusive_end=True)
 
     def closest_preceding(self, key: int) -> int | None:
         """Best next hop for ``key`` from this node's routing state.
@@ -66,9 +166,10 @@ class DhtNode:
         candidate than itself.
         """
         best: int | None = None
-        best_distance = ring_distance(self.node_id, key)
+        node_id = self.node_id
+        best_distance = ring_distance(node_id, key)
         for candidate in self.fingers + self.successors:
-            if candidate == self.node_id:
+            if candidate == node_id:
                 continue
             distance = ring_distance(candidate, key)
             if distance < best_distance:
@@ -77,7 +178,8 @@ class DhtNode:
         return best
 
     def first_successor(self) -> int | None:
-        return self.successors[0] if self.successors else None
+        successors = self.successors
+        return successors[0] if successors else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DhtNode({self.node_id:040x})"

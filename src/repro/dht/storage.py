@@ -18,11 +18,17 @@ class LocalStore:
     Keys can carry an optional expiry time, used by the adaptive
     replication controller to make replica copies age out without a
     network round trip (the replica holder drops them locally).
+
+    Slotted, with the expiry map allocated lazily: most stores in a
+    large simulated network never see an expiry, so at a million peers
+    the per-node cost is one object plus one dict.
     """
+
+    __slots__ = ("_data", "_expiry")
 
     def __init__(self) -> None:
         self._data: dict[int, dict[Hashable, Any]] = {}
-        self._expiry: dict[int, float] = {}
+        self._expiry: dict[int, float] | None = None
 
     def put(self, key: int, value: Any, identity: Hashable | None = None) -> bool:
         """Store ``value`` under ``key``.
@@ -46,21 +52,26 @@ class LocalStore:
 
     def remove_key(self, key: int) -> int:
         """Drop all values under ``key``; returns how many were removed."""
-        self._expiry.pop(key, None)
+        if self._expiry is not None:
+            self._expiry.pop(key, None)
         bucket = self._data.pop(key, None)
         return len(bucket) if bucket else 0
 
     def set_expiry(self, key: int, expires_at: float) -> None:
         """Mark ``key`` to be dropped by ``purge_expired`` at ``expires_at``."""
         if key in self._data:
+            if self._expiry is None:
+                self._expiry = {}
             self._expiry[key] = expires_at
 
     def expiry_of(self, key: int) -> float | None:
         """When ``key`` expires, or None if it has no expiry."""
-        return self._expiry.get(key)
+        return self._expiry.get(key) if self._expiry is not None else None
 
     def purge_expired(self, now: float) -> list[int]:
         """Drop every key whose expiry is <= ``now``; returns those keys."""
+        if not self._expiry:
+            return []
         expired = [key for key, at in self._expiry.items() if at <= now]
         for key in expired:
             self.remove_key(key)
@@ -82,4 +93,4 @@ class LocalStore:
 
     def clear(self) -> None:
         self._data.clear()
-        self._expiry.clear()
+        self._expiry = None

@@ -16,6 +16,13 @@ from typing import Any
 from repro.obs.metrics import MetricsRegistry
 
 
+def _shard_now(shard: Any) -> float:
+    """Clock of one shard: a live Simulator's ``now`` or a report's
+    ``final_time`` (ShardReport rows from a finished run)."""
+    now = getattr(shard, "now", None)
+    return now if now is not None else getattr(shard, "final_time", 0.0)
+
+
 def collect_network(registry: MetricsRegistry, network: Any, prefix: str = "dht") -> None:
     """DHT-wide gauges: per-message-type bandwidth, route cache, churn."""
     registry.gauge(f"{prefix}.nodes").set(len(network.nodes))
@@ -62,37 +69,60 @@ def collect_simulator(registry: MetricsRegistry, sim: Any, prefix: str = "sim") 
     """Engine gauges: virtual clock, lifetime events, queue depth.
 
     Accepts a plain :class:`~repro.sim.engine.Simulator`, a
-    :class:`~repro.sim.shard.ShardedSimulator`, or any iterable of
+    :class:`~repro.sim.shard.ShardedSimulator`, a finished
+    :class:`~repro.sim.shard.ShardRunReport`, or any iterable of
     simulators (e.g. one per shard). The aggregate gauges are always
     emitted under ``prefix``; sharded inputs additionally get one
-    labelled series per shard, so dashboards see both the whole kernel
-    and each region's clock and queue depth.
+    labelled series per shard — clock, queue depth, busy seconds, and
+    (process backend) IPC serialize/deserialize time — so dashboards see
+    both the whole kernel and where each region's wall time went.
     """
     shards = getattr(sim, "shards", None)
     if shards is None and not hasattr(sim, "now"):
         shards = list(sim)  # bare iterable of simulators
     if shards is not None:
         registry.gauge(f"{prefix}.virtual_now").set(
-            max((s.now for s in shards), default=0.0)
+            max((_shard_now(s) for s in shards), default=0.0)
         )
         registry.gauge(f"{prefix}.events_processed").set(sum(s.processed for s in shards))
         pending = getattr(sim, "pending", None)
         if pending is None:
-            pending = sum(s.pending for s in shards)
+            pending = sum(getattr(s, "pending", 0) for s in shards)
         registry.gauge(f"{prefix}.events_pending").set(pending)
         registry.gauge(f"{prefix}.shards").set(len(shards))
         windows = getattr(sim, "windows", None)
         if windows is not None:
             registry.gauge(f"{prefix}.windows").set(windows)
+        wall = getattr(sim, "wall_seconds", None)
+        if wall is not None:
+            registry.gauge(f"{prefix}.wall_seconds").set(wall)
+            registry.gauge(f"{prefix}.cross_messages").set(
+                getattr(sim, "cross_messages", 0)
+            )
+        busy_by_shard = getattr(sim, "busy_seconds", None)
         for shard_id, shard in enumerate(shards):
             labels = {"shard": str(shard_id)}
-            registry.gauge(f"{prefix}.shard.virtual_now", labels=labels).set(shard.now)
+            registry.gauge(f"{prefix}.shard.virtual_now", labels=labels).set(
+                _shard_now(shard)
+            )
             registry.gauge(f"{prefix}.shard.events_processed", labels=labels).set(
                 shard.processed
             )
             registry.gauge(f"{prefix}.shard.events_pending", labels=labels).set(
-                shard.pending
+                getattr(shard, "pending", 0)
             )
+            busy = getattr(shard, "busy_seconds", None)
+            if busy is None and busy_by_shard is not None:
+                busy = busy_by_shard[shard_id]
+            if busy is not None:
+                registry.gauge(f"{prefix}.shard.busy_seconds", labels=labels).set(busy)
+            for phase in ("serialize", "deserialize"):
+                seconds = getattr(shard, f"ipc_{phase}_seconds", None)
+                if seconds is not None:
+                    registry.gauge(
+                        f"{prefix}.shard.ipc_seconds",
+                        labels={"shard": str(shard_id), "phase": phase},
+                    ).set(seconds)
         return
     registry.gauge(f"{prefix}.virtual_now").set(sim.now)
     registry.gauge(f"{prefix}.events_processed").set(sim.processed)

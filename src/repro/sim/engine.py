@@ -173,6 +173,82 @@ class Simulator:
         self._processed += processed
         return processed
 
+    def run_with_inbox(
+        self,
+        inbox: list,
+        start: int,
+        handler: Callable[[Any], None],
+        until: float | None = None,
+    ) -> tuple[int, int]:
+        """Drain the heap merged with a pre-sorted batch of deliveries.
+
+        ``inbox[start:]`` holds tuples whose first element is the arrival
+        time (ascending) and whose last element is a payload; each fires
+        as ``handler(payload)`` at its arrival time, interleaved with
+        heap events in time order. This is the sharded backends' bulk
+        path for cross-shard messages: a sorted batch skips per-message
+        ``schedule_at`` entirely — no :class:`Event` allocation, no
+        heap traffic, no per-message closure — while local events keep
+        full heap semantics (cancellation, groups).
+
+        When an inbox arrival ties a heap event exactly, the inbox entry
+        fires first. Heap FIFO seq cannot order these ties (inbox entries
+        never entered the heap); any fixed rule is deterministic, and
+        both sharded backends share this one.
+
+        Returns ``(processed, next_index)`` — consumption resumes from
+        ``next_index`` after the bound; entries beyond it stay pending
+        and must be folded into the shard's next-event time.
+        """
+        processed = 0
+        queue = self._queue
+        heappop = heapq.heappop
+        profiler = self.profiler
+        index = start
+        end = len(inbox)
+        while True:
+            entry = None
+            if index < end:
+                entry = inbox[index]
+                if queue and queue[0][0] < entry[0]:
+                    entry = None
+            if entry is not None:
+                time = entry[0]
+                if until is not None and time > until:
+                    self.now = until
+                    break
+                index += 1
+                self.now = time
+                if profiler is None:
+                    handler(entry[-1])
+                else:
+                    profiler.run_sampled(lambda: handler(entry[-1]))
+                processed += 1
+                continue
+            if not queue:
+                break
+            time = queue[0][0]
+            if until is not None and time > until:
+                self.now = until
+                break
+            event = heappop(queue)[2]
+            if event._state != _PENDING:
+                self._cancelled_in_heap -= 1
+                continue
+            event._state = _FIRED
+            self._live -= 1
+            group = event._group
+            if group is not None:
+                group._events.pop(event.seq, None)
+            self.now = time
+            if profiler is None:
+                event.callback()
+            else:
+                profiler.run_sampled(event.callback)
+            processed += 1
+        self._processed += processed
+        return processed, index
+
     def step(self) -> bool:
         """Process exactly one event. Returns False if the queue was empty."""
         return self.run(max_events=1) == 1

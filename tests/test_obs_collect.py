@@ -106,6 +106,71 @@ class TestCacheAndSimCollectors:
             "sim.shard.events_pending", labels={"shard": "1"}
         ).value == 1
 
+    def test_sharded_simulator_busy_seconds_labelled(self):
+        kernel = ShardedSimulator(num_shards=2, lookahead=0.05)
+        kernel.shard(0).schedule(1.0, lambda: None)
+        kernel.run()
+        registry = MetricsRegistry()
+        collect_simulator(registry, kernel)
+        for shard in ("0", "1"):
+            gauge = registry.gauge("sim.shard.busy_seconds", labels={"shard": shard})
+            assert gauge.value >= 0.0
+
+    def test_shard_run_report_gauges_with_ipc_series(self):
+        """A finished ShardRunReport scrapes like a live kernel: aggregate
+        plus per-shard series, with IPC serialize/deserialize time as
+        labelled gauges (the process backend's wall-time breakdown)."""
+        from repro.sim.shard import ShardReport, ShardRunReport
+
+        report = ShardRunReport(num_shards=2, backend="process", lookahead=0.05)
+        report.windows = 7
+        report.wall_seconds = 1.5
+        report.cross_messages = 40
+        report.shards = [
+            ShardReport(
+                shard_id=0,
+                processed=100,
+                busy_seconds=0.5,
+                final_time=3.0,
+                ipc_serialize_seconds=0.02,
+                ipc_deserialize_seconds=0.01,
+            ),
+            ShardReport(
+                shard_id=1,
+                processed=50,
+                busy_seconds=0.25,
+                final_time=2.0,
+                ipc_serialize_seconds=0.04,
+                ipc_deserialize_seconds=0.03,
+            ),
+        ]
+        registry = MetricsRegistry()
+        collect_simulator(registry, report)
+        assert registry.gauge("sim.virtual_now").value == 3.0
+        assert registry.gauge("sim.events_processed").value == 150
+        assert registry.gauge("sim.events_pending").value == 0
+        assert registry.gauge("sim.shards").value == 2
+        assert registry.gauge("sim.windows").value == 7
+        assert registry.gauge("sim.wall_seconds").value == 1.5
+        assert registry.gauge("sim.cross_messages").value == 40
+        assert (
+            registry.gauge("sim.shard.busy_seconds", labels={"shard": "1"}).value
+            == 0.25
+        )
+        assert (
+            registry.gauge(
+                "sim.shard.ipc_seconds", labels={"shard": "0", "phase": "serialize"}
+            ).value
+            == 0.02
+        )
+        assert (
+            registry.gauge(
+                "sim.shard.ipc_seconds", labels={"shard": "1", "phase": "deserialize"}
+            ).value
+            == 0.03
+        )
+        validate_prometheus(registry.to_prometheus())
+
     def test_iterable_of_simulators_aggregates(self):
         sims = [Simulator(), Simulator()]
         sims[0].schedule(1.0, lambda: None)

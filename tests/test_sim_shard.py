@@ -10,6 +10,8 @@ either backend.
 from __future__ import annotations
 
 import math
+import multiprocessing
+import os
 
 import pytest
 
@@ -17,6 +19,7 @@ from repro.common.ids import KEY_SPACE
 from repro.sim.shard import (
     ShardContext,
     ShardProgram,
+    ShardWorkerError,
     ShardedSimulator,
     run_sharded,
     shard_of_key,
@@ -265,3 +268,121 @@ def test_report_rates_are_consistent():
     assert report.wall_seconds > 0
     for shard in report.shards:
         assert shard.events_per_second >= 0
+
+
+class StartSender(ShardProgram):
+    """Sends cross-shard during ``start()`` — exercising the handshake
+    path that ships setup-time messages before the first window."""
+
+    def __init__(self, shard_id: int, num_shards: int):
+        self.shard_id = shard_id
+        self.num_shards = num_shards
+        self.received: list[tuple[float, int]] = []
+
+    def start(self, ctx: ShardContext) -> None:
+        ctx.send((self.shard_id + 1) % self.num_shards, 0.05, self.shard_id)
+
+    def on_message(self, ctx: ShardContext, payload) -> None:
+        self.received.append((round(ctx.now, 9), payload))
+
+    def digest(self):
+        return sorted(self.received)
+
+
+def _start_sender_factory(shard_id: int, num_shards: int, rng) -> StartSender:
+    return StartSender(shard_id, num_shards)
+
+
+@pytest.mark.parametrize("backend", ["round_robin", "process"])
+def test_messages_sent_during_start_are_delivered(backend):
+    report = run_sharded(
+        _start_sender_factory, num_shards=3, lookahead=0.05, seed=1, backend=backend
+    )
+    assert report.processed == 3
+    assert report.cross_messages == 3
+    assert report.digests() == [[(0.05, 2)], [(0.05, 0)], [(0.05, 1)]]
+
+
+# ----------------------------------------------------------------------
+# Process-backend teardown hardening
+# ----------------------------------------------------------------------
+
+
+class SuicidalProgram(TokenRing):
+    """Token ring whose shard 1 hard-kills its own worker mid-run,
+    simulating an OOM-killed or segfaulted fork."""
+
+    def on_message(self, ctx: ShardContext, payload) -> None:
+        token, hops_left = payload
+        if self.shard_id == 1 and hops_left < 20:
+            os._exit(17)
+        self._emit(ctx, token, hops_left)
+
+
+class RaisingProgram(TokenRing):
+    """Token ring whose shard 1 raises from a callback mid-run."""
+
+    def on_message(self, ctx: ShardContext, payload) -> None:
+        token, hops_left = payload
+        if self.shard_id == 1 and hops_left < 20:
+            raise RuntimeError("shard went sideways")
+        self._emit(ctx, token, hops_left)
+
+
+def _suicidal_factory(shard_id: int, num_shards: int, rng) -> SuicidalProgram:
+    return SuicidalProgram(shard_id, num_shards)
+
+
+def _raising_factory(shard_id: int, num_shards: int, rng) -> RaisingProgram:
+    return RaisingProgram(shard_id, num_shards)
+
+
+@pytest.mark.slow
+def test_killed_worker_raises_shard_worker_error_and_leaves_no_orphans():
+    """A worker that dies mid-run must surface as a clean ShardWorkerError
+    (a DhtError-style library failure, not a hang or a raw EOFError),
+    and every other worker must be torn down — no orphaned forks."""
+    before = {p.pid for p in multiprocessing.active_children()}
+    with pytest.raises(ShardWorkerError) as excinfo:
+        run_sharded(
+            _suicidal_factory, num_shards=3, lookahead=0.05, seed=9, backend="process"
+        )
+    assert "shard 1" in str(excinfo.value)
+    assert "exitcode=17" in str(excinfo.value)
+    leaked = [
+        p for p in multiprocessing.active_children() if p.pid not in before and p.is_alive()
+    ]
+    assert not leaked, f"orphaned shard workers: {leaked}"
+
+
+@pytest.mark.slow
+def test_worker_exception_raises_shard_worker_error_with_detail():
+    """A program exception inside a worker is reported over the pipe and
+    re-raised as ShardWorkerError carrying the original message."""
+    before = {p.pid for p in multiprocessing.active_children()}
+    with pytest.raises(ShardWorkerError) as excinfo:
+        run_sharded(
+            _raising_factory, num_shards=3, lookahead=0.05, seed=9, backend="process"
+        )
+    assert "shard went sideways" in str(excinfo.value)
+    leaked = [
+        p for p in multiprocessing.active_children() if p.pid not in before and p.is_alive()
+    ]
+    assert not leaked, f"orphaned shard workers: {leaked}"
+
+
+@pytest.mark.slow
+def test_process_report_carries_ipc_timings():
+    """Process-backend reports must label where wall time went: per-shard
+    busy seconds plus IPC serialize/deserialize seconds."""
+    report = run_sharded(
+        _token_factory, num_shards=2, lookahead=0.05, seed=9, backend="process"
+    )
+    assert report.ipc_serialize_seconds > 0
+    assert report.ipc_deserialize_seconds > 0
+    for shard in report.shards:
+        assert shard.ipc_serialize_seconds >= 0
+        assert shard.ipc_deserialize_seconds >= 0
+    sequential = run_sharded(_token_factory, num_shards=2, lookahead=0.05, seed=9)
+    assert sequential.ipc_serialize_seconds == 0.0
+    assert sequential.ipc_deserialize_seconds == 0.0
