@@ -92,6 +92,18 @@ class CostModel:
         """
         return self.tuple_bytes(self.fileid_bytes + 12)
 
+    def spill_tuple_bytes(self) -> int:
+        """Storage size of one join build row parked in the spill store.
+
+        A memory-budgeted join evicts build partitions to the site-local
+        DHT temp-tuple store: a serialized single-column tuple, framed
+        like any stored tuple but with no routing header (the put is
+        local, so spilling costs storage and re-read work — never wire
+        bytes). The executor, the streaming dataflow, and the optimizer's
+        memory-pressure pricer must all charge this one figure.
+        """
+        return self.tuple_bytes(self.fileid_bytes)
+
     def digest_bytes(self, entry_count: int) -> int:
         """Wire size of a packed fileID digest carrying ``entry_count`` keys.
 

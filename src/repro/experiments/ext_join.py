@@ -1,0 +1,348 @@
+"""Extension: memory-adaptive join robustness under skew × budget.
+
+A symmetric hash join that can't hold its build state has two shapes of
+failure. The all-or-nothing spill (``spill_policy="all"``, the legacy
+behaviour) flushes *both* build sides wholesale the moment one row
+exceeds the budget — after which every probe pays a spill-store read,
+however rare its key. The partitioned hybrid hash join
+(``spill_policy="partitioned"``) evicts only its largest hash
+partitions, so probes into never-spilled partitions stay free and
+throughput degrades smoothly as the budget tightens.
+
+This experiment measures exactly that contrast:
+
+* **Throughput sweep** — replayed multi-keyword conjunctions run
+  pipelined under Zipf-skewed posting lists, for every (skew, budget,
+  policy) point; wall-clock queries/sec, spill/re-read volume, partition
+  evictions/restores and role reversals are recorded per point, and
+  every budgeted answer set is asserted equal to the unlimited-memory
+  reference. Each point's throughput ratio is measured against an
+  unlimited-memory run interleaved in the *same* timing window
+  (best-of-N both sides), so machine-level drift cancels; the spill
+  metrics are deterministic and bit-stable across runs. Budgets in
+  ``BUDGETS`` are the operating range the no-cliff floor is gated on;
+  ``CLIFF_BUDGET`` is the far-undersized point where the legacy
+  policy's eviction churn and probe re-reads blow up.
+* **Equivalence matrix** — each scenario additionally runs the full
+  strategy × runtime matrix (atomic unbudgeted vs pipelined tightly
+  budgeted) and asserts identical answers.
+* **Optimizer shift** — each scenario's posting sizes are priced with
+  and without the optimizer's memory-pressure term; rows record where
+  tight budgets flip the strategy choice (e.g. toward the Bloom join,
+  whose 2-term chain holds no join build state at all).
+
+``python -m repro.experiments.ext_join`` records the sweep into
+``BENCH_join.json`` at the repository root;
+``benchmarks/test_join_robustness.py`` gates CI on the no-cliff floor.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from time import perf_counter
+
+from repro.experiments.common import ExperimentResult, PaperScale, PAPER_SCALE, SMALL_SCALE
+from repro.experiments.ext_optimizer import build_zipf_world, _result_key
+from repro.pier.dataflow import DataflowConfig, DataflowExecutor
+from repro.pier.executor import DistributedExecutor
+from repro.pier.optimizer import CostBasedOptimizer, OptimizerConfig
+from repro.pier.query import JoinStrategy
+
+#: row budgets swept per policy (None = unlimited reference point).
+#: These are the *operating* budgets the no-cliff throughput floor is
+#: gated on; the cliff point below is recorded separately.
+BUDGETS = (None, 512, 128, 64)
+
+#: the far-below-operating budget where the all-or-nothing policy's
+#: collapse is starkest — recorded for both policies and gated on the
+#: deterministic spill metrics (eviction churn, probe re-reads), which
+#: are bit-stable across runs, rather than on wall clock
+CLIFF_BUDGET = 32
+
+#: Zipf exponents of the corpus term distribution; 1.1 is the skewed
+#: regime the acceptance floor is pinned at
+ZIPF_ALPHAS = (0.8, 1.1)
+
+#: the skew the no-cliff floor is gated at
+FLOOR_ALPHA = 1.1
+
+#: worst partitioned operating-budget point must keep at least this
+#: fraction of paired unlimited-memory throughput
+NO_CLIFF_FLOOR = 0.5
+
+#: tightening the budget one sweep step may cost at most this much:
+#: each successive partitioned ratio must retain >= this fraction of
+#: the previous (smooth degradation, no cliff between adjacent points)
+MIN_STEP_RETENTION = 0.55
+
+#: the tight budget used for the equivalence matrix and optimizer shift
+TIGHT_BUDGET = 32
+
+#: strategies exercised in the budgeted equivalence matrix (InvertedCache
+#: never joins, so a budget cannot perturb it)
+MATRIX_STRATEGIES = (
+    JoinStrategy.DISTRIBUTED_JOIN,
+    JoinStrategy.SEMI_JOIN,
+    JoinStrategy.BLOOM_JOIN,
+)
+
+
+def _sweep_points():
+    for policy in ("partitioned", "all"):
+        for budget in BUDGETS:
+            if budget is not None:
+                yield (policy, budget)
+        yield (policy, CLIFF_BUDGET)
+
+
+def run(
+    scale: PaperScale = PAPER_SCALE,
+    alphas: tuple[float, ...] = ZIPF_ALPHAS,
+    repeats: int = 3,
+    rounds: int = 6,
+) -> ExperimentResult:
+    num_files = max(300, scale.num_items // 3)
+    rows = []
+    for alpha in alphas:
+        world = build_zipf_world(
+            alpha, num_files=num_files, vocab_size=120, num_nodes=48,
+            seed=scale.seed + int(alpha * 10),
+        )
+        atomic = DistributedExecutor(world.network, world.catalog)
+
+        # One fixed plan list per alpha: every sweep point replays the
+        # same conjunctions against the same reference answer sets.
+        plans = []
+        references = []
+        for scenario, terms in world.queries.items():
+            for repeat in range(repeats):
+                node = world.network.random_node_id()
+                plan = world.planner.plan(
+                    terms, node, strategy=JoinStrategy.DISTRIBUTED_JOIN
+                )
+                plans.append(plan)
+                references.append(_result_key(atomic.execute(plan)[0]))
+
+        def timed_pass(flow: DataflowExecutor) -> float:
+            started = perf_counter()
+            for plan in plans:
+                flow.execute(plan)
+            return perf_counter() - started
+
+        unlimited = DataflowExecutor(
+            world.network,
+            world.catalog,
+            config=DataflowConfig(batch_size=16),
+            rng=scale.seed + 7,
+        )
+        timed_pass(unlimited)  # warm caches before any timing
+        best_unlimited = min(timed_pass(unlimited) for _ in range(rounds))
+        rows.append(
+            (
+                "throughput", alpha, "unlimited", 0,
+                round(len(plans) / best_unlimited, 1), 1.0, 0, 0, 0, 0, 0,
+            )
+        )
+
+        for policy, budget in _sweep_points():
+            config = DataflowConfig(
+                batch_size=16, memory_budget=budget, spill_policy=policy
+            )
+            flow = DataflowExecutor(
+                world.network, world.catalog, config=config, rng=scale.seed + 7
+            )
+            # Paired best-of-N timing: each budgeted point interleaves
+            # with a fresh unlimited pass in the *same* wall-clock
+            # window, so slow machine-level drift (thermal, scheduler)
+            # cancels out of the ratio; within the window, noise only
+            # ever *adds* time, so best-of-N is the least-perturbed
+            # estimate of both numerator and denominator.
+            best = best_paired = None
+            for _ in range(rounds):
+                elapsed = timed_pass(unlimited)
+                if best_paired is None or elapsed < best_paired:
+                    best_paired = elapsed
+                elapsed = timed_pass(flow)
+                if best is None or elapsed < best:
+                    best = elapsed
+            # Untimed verification + accounting pass, on a fresh
+            # executor so the executor's RNG position (and with it the
+            # spill accounting) is independent of how many timed rounds
+            # ran — the recorded metrics are bit-deterministic.
+            fresh = DataflowExecutor(
+                world.network, world.catalog, config=config, rng=scale.seed + 7
+            )
+            spilled = reads = evictions = restores = reversals = 0
+            for plan, reference in zip(plans, references):
+                answer, stats = fresh.execute(plan)
+                if _result_key(answer) != reference:
+                    raise AssertionError(
+                        f"alpha={alpha} {policy}/{budget}: budgeted answer "
+                        "set diverged from the unlimited-memory reference"
+                    )
+                if stats.spill is not None:
+                    spilled += stats.spill.spilled_tuples
+                    reads += stats.spill.spill_reads
+                    evictions += stats.spill.partition_evictions
+                    restores += stats.spill.partition_restores
+                    reversals += stats.spill.role_reversals
+            rows.append(
+                (
+                    "throughput",
+                    alpha,
+                    policy,
+                    budget,
+                    round(len(plans) / best, 1),
+                    round(best_paired / best, 3),
+                    spilled // len(plans),
+                    reads // len(plans),
+                    evictions,
+                    restores,
+                    reversals,
+                )
+            )
+
+        # Strategy × runtime equivalence matrix at the tight budget.
+        tight = DataflowExecutor(
+            world.network,
+            world.catalog,
+            config=DataflowConfig(batch_size=16, memory_budget=TIGHT_BUDGET),
+            rng=scale.seed + 9,
+        )
+        for scenario, terms in world.queries.items():
+            node = world.network.random_node_id()
+            reference = None
+            for strategy in MATRIX_STRATEGIES:
+                plan = world.planner.plan(terms, node, strategy=strategy)
+                key = _result_key(atomic.execute(plan)[0])
+                if reference is None:
+                    reference = key
+                elif key != reference:
+                    raise AssertionError(
+                        f"{scenario}/{strategy.value}: atomic answer diverged"
+                    )
+                if _result_key(tight.execute(plan)[0]) != reference:
+                    raise AssertionError(
+                        f"{scenario}/{strategy.value}: tightly budgeted "
+                        "pipelined answer diverged"
+                    )
+            rows.append(
+                ("equivalence", alpha, scenario, TIGHT_BUDGET,
+                 len(MATRIX_STRATEGIES) * 2, 0, 0, 0, 0, 0, 0)
+            )
+
+        # Optimizer shift: the same posting stats priced with and without
+        # the memory-pressure term.
+        unbudgeted = CostBasedOptimizer(world.catalog)
+        pressured = CostBasedOptimizer(
+            world.catalog, config=OptimizerConfig(memory_budget=TIGHT_BUDGET)
+        )
+        for scenario, terms in world.queries.items():
+            sizes = {t: world.catalog.posting_size("Inverted", t) for t in terms}
+            free_pick = unbudgeted.choose(sizes, inverted_cache=False)
+            tight_pick = pressured.choose(sizes, inverted_cache=False)
+            spill_cost = pressured.estimates(sizes, inverted_cache=False)[
+                tight_pick
+            ].spill_bytes
+            rows.append(
+                (
+                    "optimizer",
+                    alpha,
+                    scenario,
+                    TIGHT_BUDGET,
+                    free_pick.value,
+                    tight_pick.value,
+                    int(free_pick is not tight_pick),
+                    spill_cost,
+                    0,
+                    0,
+                    0,
+                )
+            )
+    return ExperimentResult(
+        experiment_id="ext-join",
+        title="Memory-adaptive join: skew × budget sweep, no-cliff throughput",
+        columns=[
+            "section",
+            "zipf_alpha",
+            "policy_or_scenario",
+            "budget_rows",
+            "qps_or_pick",
+            "ratio_or_pick",
+            "spilled_or_shifted",
+            "reads_or_spill_bytes",
+            "evictions",
+            "restores",
+            "role_reversals",
+        ],
+        rows=rows,
+        notes=(
+            "throughput rows: wall-clock q/s per (policy, row budget) "
+            "point with the ratio vs an unlimited run interleaved in the "
+            "same timing window (budget 0 = unlimited reference), "
+            "answers pinned to the atomic unlimited reference; "
+            "equivalence rows: strategy x runtime matrix verified at the "
+            "tight budget; optimizer rows: strategy pick without vs with "
+            "the memory-pressure term (columns 5-8 = free pick, tight "
+            "pick, shifted, predicted spill bytes)"
+        ),
+    )
+
+
+def sweep_by_point(
+    result: ExperimentResult, alpha: float
+) -> dict[tuple[str, int], dict[str, float]]:
+    """(policy, budget) -> named throughput/spill fields for one alpha."""
+    points = {}
+    for row in result.rows:
+        if row[0] == "throughput" and row[1] == alpha:
+            points[(row[2], row[3])] = {
+                "qps": row[4],
+                "ratio": row[5],
+                "spilled_per_query": row[6],
+                "reads_per_query": row[7],
+                "evictions": row[8],
+                "restores": row[9],
+                "role_reversals": row[10],
+            }
+    return points
+
+
+def record(
+    path: str | Path = "BENCH_join.json",
+    scale: PaperScale = SMALL_SCALE,
+    alphas: tuple[float, ...] = ZIPF_ALPHAS,
+    repeats: int = 3,
+    rounds: int = 6,
+    result: ExperimentResult | None = None,
+) -> Path:
+    """Persist the sweep as the bench artifact.
+
+    Pass an already-computed ``result`` to record it without re-running
+    the sweep (the benchmark suite asserts on the exact execution it
+    records); otherwise the sweep runs here.
+    """
+    if result is None:
+        result = run(scale, alphas=alphas, repeats=repeats, rounds=rounds)
+    payload = {
+        "experiment": result.experiment_id,
+        "title": result.title,
+        "scale": scale.name,
+        "columns": result.columns,
+        "rows": [list(row) for row in result.rows],
+        "bounds": {
+            "floor_alpha": FLOOR_ALPHA,
+            "no_cliff_floor": NO_CLIFF_FLOOR,
+            "min_step_retention": MIN_STEP_RETENTION,
+        },
+        "notes": result.notes,
+    }
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    return target
+
+
+if __name__ == "__main__":
+    recorded = record()
+    print(recorded.read_text())

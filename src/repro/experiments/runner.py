@@ -20,6 +20,7 @@ from repro.experiments import (
     ext_churn,
     ext_dataflow,
     ext_horizon_load,
+    ext_join,
     ext_obs,
     ext_optimizer,
     ext_runtime,
@@ -60,6 +61,7 @@ EXPERIMENTS = {
     "sec5": sec5_posting.run,
     "sec7": sec7_deployment.run,
     "ext-horizon": ext_horizon_load.run,
+    "ext-join": ext_join.run,
     "ext-churn": ext_churn.run,
     "ext-cache": ext_cache_effectiveness.run,
     "ext-dataflow": ext_dataflow.run,

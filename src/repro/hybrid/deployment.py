@@ -94,7 +94,8 @@ class DeploymentConfig:
     execution_mode: str = "pipelined"
     #: exchange batch size override (None = planner's per-plan choice)
     batch_size: int | None = None
-    #: per-site join memory budget (None = unbounded, no spilling)
+    #: per-site join memory budget in *rows* (None = unbounded, no
+    #: spilling); also fed to the cost optimizer's memory-pressure pricer
     memory_budget: int | None = None
     #: virtual time between churn steps on the private DHT (0 = no churn)
     churn_interval: float = 0.0
@@ -233,6 +234,7 @@ def run_deployment(config: DeploymentConfig | None = None) -> DeploymentReport:
         catalog,
         inverted_cache=config.inverted_cache,
         optimizer=config.cost_optimizer,
+        memory_budget=config.memory_budget,
     )
 
     # --- The repro.cache subsystem (off unless configured) ------------

@@ -88,7 +88,8 @@ class RaceConfig:
     #: exchange batch size override (None = the plan's planner choice,
     #: falling back to the dataflow default)
     batch_size: int | None = None
-    #: per-site join memory budget; overflow spills to the DHT temp store
+    #: per-site join memory budget in *rows* (not bytes); overflowing
+    #: build partitions spill to the DHT temp store
     memory_budget: int | None = None
     #: stop each re-query after this many answer tuples, cancelling
     #: upstream in-flight batches (None = drain the full join)

@@ -62,6 +62,7 @@ from repro.common.units import CostModel
 from repro.dht.network import DhtNetwork
 from repro.pier.catalog import Catalog
 from repro.pier.operators import (
+    NUM_SPILL_PARTITIONS,
     SpillSink,
     SubstringFilter,
     Scan,
@@ -74,6 +75,8 @@ from repro.pier.query import (
     JoinStrategy,
     PipelineStats,
     QueryStats,
+    SpillStats,
+    spill_stats_from_join,
 )
 from repro.pier.schema import Row
 from repro.sim.engine import EventGroup, Simulator
@@ -155,9 +158,15 @@ class DataflowConfig:
     #: virtual time between consecutive batch sends on one exchange edge
     #: (models serialising a batch onto the first hop)
     send_interval: float = 0.15
-    #: max rows a join site holds in memory before spilling build state
-    #: to the DHT temp-tuple store (None = unbounded)
+    #: max *rows* (not bytes) a join site holds in memory before spilling
+    #: build partitions to the DHT temp-tuple store (None = unbounded)
     memory_budget: int | None = None
+    #: hash-partition fan-out of each budgeted join's build state
+    spill_partitions: int = NUM_SPILL_PARTITIONS
+    #: "partitioned" evicts largest partitions incrementally (skew-aware,
+    #: no cliff); "all" keeps the legacy flush-both-sides-whole behaviour
+    #: for comparison experiments
+    spill_policy: str = "partitioned"
 
 
 class DataflowQuery:
@@ -357,75 +366,197 @@ class DataflowExecutor:
 
 
 class _DhtSpillSink(SpillSink):
-    """Join spill state parked in the executing site's DHT temp store.
+    """Join spill partitions parked in the executing site's DHT temp store.
 
-    Probes are served from a same-shape in-memory index keyed by join
-    column, so a probe touches only its matches instead of rescanning
-    the whole partition per arriving row. The copy written to the site's
-    store is the *externally observable* surface — it is what the PIER
-    temp-tuple contract exposes to other readers (and what tests
-    inspect), and it is released with the query's other temp keys; the
-    running join itself never reads it back. Like the in-memory base
-    sink, this models spill *accounting* (spilled_rows / reads), not a
-    real memory saving — the simulation keeps all state resident.
+    Probes and restores are served from the base sink's in-memory
+    partition index, so a probe touches only its matches instead of
+    rescanning a partition per arriving row. The copy written to the
+    site's store — one temp ring key per (side, partition), tag
+    ``spill-{side}-p{pid}`` — is the *externally observable* surface: it
+    is what the PIER temp-tuple contract exposes to other readers (and
+    what tests inspect), it is removed when its partition restores into
+    memory, and leftovers are released with the query's other temp keys.
+    Keys-mode partitions surface one ``{column: key}`` tuple per
+    *distinct* key (the multiplicity stays in the compact index), so a
+    skewed eviction never materialises per-duplicate dicts. Rows spilled
+    after the site churned out get no DHT copy — they are counted as
+    ``orphan_rows`` (surfaced via ``operator.spill.orphan_rows``) and
+    live only in the base sink until the run releases them. Like the
+    in-memory base sink, this models spill *accounting*, not a real
+    memory saving — the simulation keeps all state resident.
     """
 
     def __init__(self, run: "_QueryRun", site: int, stage_index: int, column: str):
-        super().__init__(column)
+        super().__init__(column, row_bytes=run.executor.cost_model.spill_tuple_bytes())
         self.run = run
         self.site = site
-        self.keys = {
-            side: temp_ring_key(
-                run.query_id,
-                stage_index,
-                f"spill-{side}",
-                namespace=run.executor.temp_namespace,
+        self.stage_index = stage_index
+        self._network = run.executor.network
+        self._ring_keys: dict[tuple[str, int], int] = {}
+        #: monotone per-sink sequence used as the DHT value identity —
+        #: unique across both sides, so a partition that re-spills after
+        #: a restore never collides
+        self._seq = 0
+        # Spill accounting runs once per spilled row — resolve the span
+        # and metric counters once instead of attribute hops and a
+        # string-keyed registry lookup per row.
+        self._span = run.span
+        metrics = run.metrics
+        self._rows_counter = metrics.counter("operator.spill.rows") if metrics else None
+        self._bytes_counter = (
+            metrics.counter("operator.spill.bytes") if metrics else None
+        )
+        self._orphan_counter = (
+            metrics.counter("operator.spill.orphan_rows") if metrics else None
+        )
+        self._restored_counter = (
+            metrics.counter("operator.spill.restored_rows") if metrics else None
+        )
+
+    def ring_key(self, side: str, pid: int) -> int:
+        key = self._ring_keys.get((side, pid))
+        if key is None:
+            key = temp_ring_key(
+                self.run.query_id,
+                self.stage_index,
+                f"spill-{side}-p{pid}",
+                namespace=self.run.executor.temp_namespace,
             )
-            for side in ("left", "right")
-        }
-        self._counts = {"left": 0, "right": 0}
-        self._index: dict[str, dict[Any, list[Row]]] = {"left": {}, "right": {}}
+            self._ring_keys[(side, pid)] = key
+            # Registration is idempotent and release tolerates missing
+            # keys, so registering at creation (rather than per write)
+            # is safe even for a partition that never lands a DHT copy.
+            self.run.register_temp_key(self.site, key)
+        return key
 
     def _site_alive(self) -> bool:
-        return self.site in self.run.executor.network.nodes
+        return self.site in self._network.nodes
 
-    def write(self, side: str, rows: list[Row]) -> None:
-        run = self.run
-        if rows:
-            if run.span is not None:
-                run.span.event(
-                    "join.spill", side=side, rows=len(rows), site=self.site
-                )
-            if run.metrics is not None:
-                spill_bytes = len(rows) * run.executor.cost_model.rehash_tuple_bytes()
-                run.metrics.counter("operator.spill.rows").add(len(rows))
-                run.metrics.counter("operator.spill.bytes").add(spill_bytes)
-        if not self._site_alive():  # site churned out: keep state in memory
-            super().write(side, rows)
+    def _observe_spill(self, side: str, pid: int, rows: int) -> None:
+        if not rows:
             return
-        key = self.keys[side]
-        network = self.run.executor.network
-        partition = self._index[side]
-        if rows:
-            self.run.register_temp_key(self.site, key)
-        for row in rows:
-            network.put_local(
-                self.site, key, dict(row), identity=(side, self._counts[side]),
-                missing_ok=True,
+        span = self._span
+        if span is not None:
+            span.event(
+                "join.spill", side=side, partition=pid, rows=rows, site=self.site
             )
-            self._counts[side] += 1
-            partition.setdefault(row[self.column], []).append(row)
-        self.spilled_rows += len(rows)
+        if self._rows_counter is not None:
+            self._rows_counter.add(rows)
+            self._bytes_counter.add(rows * self.row_bytes)
 
-    def read(self, side: str, key: Any) -> list[Row]:
-        self.reads += 1
-        matches = list(self._index[side].get(key, ()))
-        # Rows spilled after the site churned out live in the base sink.
-        matches.extend(self._rows[side].get(key, ()))
-        return matches
+    def _account_orphans(self, rows: int) -> None:
+        # Site churned out mid-query: no DHT copy exists, the rows stay
+        # only in the base in-memory sink until the run releases them.
+        self.orphan_rows += rows
+        if self._orphan_counter is not None:
+            self._orphan_counter.add(rows)
 
-    def has_spilled(self, side: str) -> bool:
-        return self._counts[side] > 0 or super().has_spilled(side)
+    def write_rows(self, side: str, pid: int, mapping: dict[Any, list[Row]]) -> None:
+        rows = sum(len(entry) for entry in mapping.values())
+        self._observe_spill(side, pid, rows)
+        if not self._site_alive():
+            self._account_orphans(rows)
+        elif rows:
+            ring_key = self.ring_key(side, pid)
+            network = self._network
+            for entry in mapping.values():
+                for row in entry:
+                    network.put_local(
+                        self.site,
+                        ring_key,
+                        dict(row),
+                        identity=self._seq,
+                        missing_ok=True,
+                    )
+                    self._seq += 1
+        super().write_rows(side, pid, mapping)
+
+    def route_row(self, side: str, pid: int, key: Any, row: Row) -> None:
+        span = self._span
+        if span is not None:
+            span.event("join.spill", side=side, partition=pid, rows=1, site=self.site)
+        if self._rows_counter is not None:
+            self._rows_counter.add(1)
+            self._bytes_counter.add(self.row_bytes)
+        # missing_ok folds the site-aliveness check into the put: False
+        # means the site churned out, i.e. the row is an orphan.
+        if self._network.put_local(
+            self.site,
+            self.ring_key(side, pid),
+            dict(row),
+            identity=self._seq,
+            missing_ok=True,
+        ):
+            self._seq += 1
+        else:
+            self._account_orphans(1)
+        super().route_row(side, pid, key, row)
+
+    def route_count(self, side: str, pid: int, key: Any) -> bool:
+        span = self._span
+        if span is not None:
+            span.event("join.spill", side=side, partition=pid, rows=1, site=self.site)
+        if self._rows_counter is not None:
+            self._rows_counter.add(1)
+            self._bytes_counter.add(self.row_bytes)
+        fresh = super().route_count(side, pid, key)
+        if fresh:
+            # Only a key new to the partition gets a surfaced tuple —
+            # multiplicity bumps stay in the compact index.
+            if self._network.put_local(
+                self.site,
+                self.ring_key(side, pid),
+                {self.column: key},
+                identity=self._seq,
+                missing_ok=True,
+            ):
+                self._seq += 1
+            else:
+                self._account_orphans(1)
+        elif not self._site_alive():
+            self._account_orphans(1)
+        return fresh
+
+    def write_counts(self, side: str, pid: int, mapping: dict[Any, int]) -> None:
+        rows = sum(mapping.values())
+        self._observe_spill(side, pid, rows)
+        if not self._site_alive():
+            self._account_orphans(rows)
+        elif mapping:
+            # One surfaced tuple per *distinct* key: keys whose
+            # multiplicity is merely bumped (spilled-partition routing
+            # re-spills one key at a time) are already in the store.
+            surfaced = self._counts[side].get(pid, {})
+            fresh = [key for key in mapping if key not in surfaced]
+            if fresh:
+                ring_key = self.ring_key(side, pid)
+                network = self._network
+                for key in fresh:
+                    network.put_local(
+                        self.site,
+                        ring_key,
+                        {self.column: key},
+                        identity=self._seq,
+                        missing_ok=True,
+                    )
+                    self._seq += 1
+        super().write_counts(side, pid, mapping)
+
+    def _drop_dht_copy(self, side: str, pid: int) -> None:
+        if ((side, pid)) in self._ring_keys and self._site_alive():
+            self._network.remove_local(
+                self.site, self._ring_keys[(side, pid)], missing_ok=True
+            )
+        if self._restored_counter is not None:
+            self._restored_counter.add(self.partition_rows(side, pid))
+
+    def take_rows(self, side: str, pid: int) -> dict[Any, list[Row]]:
+        self._drop_dht_copy(side, pid)
+        return super().take_rows(side, pid)
+
+    def take_counts(self, side: str, pid: int) -> dict[Any, int]:
+        self._drop_dht_copy(side, pid)
+        return super().take_counts(side, pid)
 
 
 class _Exchange:
@@ -1106,9 +1237,7 @@ class _QueryRun:
             self.stats.critical_path_hops += self.bloom_return_hops
         if self.fetch_items and self.answer_tuples > 0:
             self.stats.critical_path_hops += self.max_fetch_hops + 1
-        for join in self.joins:
-            self.pipeline.spilled_tuples += join.shj.spilled_rows
-            self.pipeline.spill_reads += join.shj.spill_reads
+        self._aggregate_spill_stats()
         self._release_temp_keys()
         if self.span is not None:
             for span in self._stage_spans:
@@ -1139,6 +1268,7 @@ class _QueryRun:
         self.query.error = error
         self.pipeline.completion_time = self.sim.now - self.submitted_at
         self.group.cancel()
+        self._aggregate_spill_stats()
         self._release_temp_keys()
         if self.span is not None:
             for span in self._stage_spans:
@@ -1151,6 +1281,39 @@ class _QueryRun:
 
     # -- plumbing --------------------------------------------------------
 
+    def _aggregate_spill_stats(self) -> None:
+        """Fold every budgeted join's spill accounting into the stats.
+
+        Populates the legacy pipeline counters plus ``stats.spill`` —
+        runs without a memory budget keep ``stats.spill = None``.
+        """
+        spill: SpillStats | None = None
+        for join in self.joins:
+            shj = join.shj
+            if shj.spill_sink is None:
+                continue
+            self.pipeline.spilled_tuples += shj.spilled_rows
+            self.pipeline.spill_reads += shj.spill_reads
+            if spill is None:
+                spill = SpillStats()
+            spill.merge(spill_stats_from_join(shj))
+        if spill is not None:
+            self.stats.spill = spill
+            if self.metrics is not None:
+                self.metrics.counter("operator.spill.reads").add(spill.spill_reads)
+                self.metrics.counter("operator.spill.reread_bytes").add(
+                    spill.reread_bytes
+                )
+                self.metrics.counter("operator.spill.partition_evictions").add(
+                    spill.partition_evictions
+                )
+                self.metrics.counter("operator.spill.partition_restores").add(
+                    spill.partition_restores
+                )
+                self.metrics.counter("operator.spill.role_reversals").add(
+                    spill.role_reversals
+                )
+
     def register_temp_key(self, site: int, key: int) -> None:
         self._temp_keys.add((site, key))
 
@@ -1158,6 +1321,12 @@ class _QueryRun:
         for site, key in self._temp_keys:
             self.executor.network.remove_local(site, key)
         self._temp_keys.clear()
+        # Orphan spill rows (site churned out: no DHT copy to remove) are
+        # released with the rest of the query's temporary state.
+        for join in self.joins:
+            sink = join.shj.spill_sink
+            if sink is not None:
+                sink.clear()
 
     def _route_hops(self, origin: int, key_owner: int) -> int:
         return route_hops(self.executor.network, origin, key_owner)
@@ -1281,10 +1450,15 @@ class _JoinStage:
         self.out = out
         self.activated = False
         self.emitted: set[object] = set()
-        budget = run.executor.config.memory_budget
+        config = run.executor.config
+        budget = config.memory_budget
         sink = _DhtSpillSink(run, site, index, "fileID") if budget else None
         self.shj = SymmetricHashJoin(
-            column="fileID", memory_budget=budget, spill_sink=sink
+            column="fileID",
+            memory_budget=budget,
+            spill_sink=sink,
+            num_partitions=config.spill_partitions,
+            spill_policy=config.spill_policy,
         )
         self.span = None
 

@@ -48,8 +48,21 @@ from repro.pier.dataflow import (
     fetch_items_charged,
     route_hops,
 )
-from repro.pier.operators import BloomProbe, Scan, SubstringFilter, SymmetricHashJoin
-from repro.pier.query import DistributedPlan, JoinStrategy, QueryStats
+from repro.pier.operators import (
+    NUM_SPILL_PARTITIONS,
+    BloomProbe,
+    Scan,
+    SpillSink,
+    SubstringFilter,
+    SymmetricHashJoin,
+)
+from repro.pier.query import (
+    DistributedPlan,
+    JoinStrategy,
+    QueryStats,
+    SpillStats,
+    spill_stats_from_join,
+)
 from repro.pier.schema import Row
 
 
@@ -84,6 +97,9 @@ class DistributedExecutor:
         store_temp_tuples: bool = False,
         mode: str = "atomic",
         dataflow_config: DataflowConfig | None = None,
+        memory_budget: int | None = None,
+        spill_partitions: int = NUM_SPILL_PARTITIONS,
+        spill_policy: str = "partitioned",
         rng=None,
         tracer=None,
         metrics=None,
@@ -100,10 +116,22 @@ class DistributedExecutor:
                 "executions persist join state via "
                 "DataflowConfig(memory_budget=...) spilling instead"
             )
+        if memory_budget is not None and mode == "pipelined":
+            # Same contract: the streaming runtime owns its own budget
+            # knob, and a silently dropped budget would look unbounded.
+            raise ValueError(
+                "memory_budget on the executor is an atomic-mode feature; "
+                "pipelined executions budget their joins via "
+                "DataflowConfig(memory_budget=...) instead"
+            )
         self.network = network
         self.catalog = catalog
         self.cost_model = cost_model or network.cost_model
         self.store_temp_tuples = store_temp_tuples
+        #: per-join *row* budget (not bytes) for atomic-mode SHJ stages
+        self.memory_budget = memory_budget
+        self.spill_partitions = spill_partitions
+        self.spill_policy = spill_policy
         self.mode = mode
         self._query_counter = 0
         self._temp_keys: list[tuple[int, int]] = []  # (node, ring key)
@@ -281,8 +309,25 @@ class DistributedExecutor:
         self._charge(stats, "pier.rehash", max(1, hops), total_bytes)
         stats.posting_entries_shipped += len(shipped)
 
-        join = SymmetricHashJoin(Scan(shipped), Scan(local), column="fileID")
+        budget = self.memory_budget
+        join = SymmetricHashJoin(
+            Scan(shipped),
+            Scan(local),
+            column="fileID",
+            memory_budget=budget,
+            spill_sink=(
+                SpillSink("fileID", row_bytes=self.cost_model.spill_tuple_bytes())
+                if budget
+                else None
+            ),
+            num_partitions=self.spill_partitions,
+            spill_policy=self.spill_policy,
+        )
         merged = join.rows()
+        if budget is not None:
+            if stats.spill is None:
+                stats.spill = SpillStats()
+            stats.spill.merge(spill_stats_from_join(join))
         # Keep one surviving row per fileID for the next stage.
         survivors: dict[object, Row] = {}
         for row in merged:

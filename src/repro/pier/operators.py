@@ -10,8 +10,51 @@ from __future__ import annotations
 
 from time import perf_counter
 from typing import Any, Callable, Iterable, Iterator
+from zlib import crc32
 
 from repro.pier.schema import Row
+
+#: default hash-partition fan-out of a memory-budgeted join's build state
+NUM_SPILL_PARTITIONS = 8
+
+
+#: cross-query memos for :func:`spill_partition`, one per fan-out: a
+#: corpus re-uses the same join keys (fileIDs) across every query, so
+#: the hash runs once per distinct key process-wide. Bounded — cleared
+#: wholesale when full (the hash is pure, so dropping is always safe).
+_partition_memos: dict[int, dict[Any, int]] = {}
+_PARTITION_MEMO_MAX = 1 << 16
+
+
+def _partition_memo_for(num_partitions: int) -> dict[Any, int]:
+    """The shared key→partition memo for one fan-out value."""
+    return _partition_memos.setdefault(num_partitions, {})
+
+
+def spill_partition(key: Any, num_partitions: int) -> int:
+    """Hash partition of a join key, shared by join and spill sink.
+
+    Deliberately *not* Python's builtin ``hash``: string hashing is
+    salted per interpreter (PYTHONHASHSEED), which would make partition
+    placement — and therefore spill/eviction traces — differ between
+    runs and break the repo's bit-identical digest story. Integer keys
+    take a Fibonacci-hashing fast path (one multiply, top 32 bits);
+    anything else falls back to CRC32 over the ``str()`` form, memoised
+    per distinct key, which is likewise stable everywhere.
+    """
+    memo = _partition_memos.setdefault(num_partitions, {})
+    pid = memo.get(key)
+    if pid is None:
+        if type(key) is int:
+            pid = (
+                (key * 0x9E3779B97F4A7C15 & 0xFFFFFFFFFFFFFFFF) >> 32
+            ) % num_partitions
+        else:
+            pid = crc32(str(key).encode()) % num_partitions
+        if len(memo) >= _PARTITION_MEMO_MAX:
+            memo.clear()
+        memo[key] = pid
+    return pid
 
 
 class Operator:
@@ -198,38 +241,153 @@ class HashJoin(Operator):
 
 
 class SpillSink:
-    """Where a memory-bounded join parks build state it cannot hold.
+    """Where a memory-bounded join parks build-state *partitions*.
 
-    The reference implementation keeps spilled rows in plain lists; the
-    dataflow runtime subclasses it with a DHT-backed sink so spilled state
-    lands in the site's temp-tuple store (and survives exactly as long as
-    the query does). Reads are counted so experiments can report the
-    re-read cost of running under a memory budget.
+    Storage is partition-granular: the join evicts whole hash partitions
+    (``write_rows`` / ``write_counts``), probes re-read single keys out of
+    a spilled partition (``read_rows`` / ``read_count``), and a partition
+    restores wholesale when the budget frees up (``take_rows`` /
+    ``take_counts``). Keys-mode state is parked as compact ``(key,
+    count)`` multiplicities — never one row dict per duplicate.
+
+    The reference implementation keeps everything in plain dicts; the
+    dataflow runtime subclasses it with a DHT-backed sink whose extra
+    copy lands in the site's temp-tuple store (and survives exactly as
+    long as the query does). Reads, logical rows and bytes (``row_bytes``
+    per logical row, 0 = untracked) are counted so experiments can report
+    the spill/re-read cost of running under a memory budget.
     """
 
-    def __init__(self, column: str):
+    def __init__(self, column: str, row_bytes: int = 0):
         self.column = column
-        #: spilled rows, partitioned by side and indexed by join key so a
-        #: probe re-reads only its matches instead of scanning the whole
-        #: partition (which would make a budgeted join quadratic)
-        self._rows: dict[str, dict[Any, list[Row]]] = {"left": {}, "right": {}}
+        #: bytes charged per logical spilled/re-read row (accounting only)
+        self.row_bytes = row_bytes
+        #: rows-mode spilled state: side -> partition id -> key -> rows,
+        #: indexed by join key so a probe re-reads only its matches
+        #: instead of scanning the whole partition (which would make a
+        #: budgeted join quadratic)
+        self._rows: dict[str, dict[int, dict[Any, list[Row]]]] = {
+            "left": {},
+            "right": {},
+        }
+        #: keys-mode spilled state: side -> partition id -> key -> count
+        self._counts: dict[str, dict[int, dict[Any, int]]] = {
+            "left": {},
+            "right": {},
+        }
+        #: logical rows per spilled partition, maintained incrementally so
+        #: restore scans never re-sum partition contents
+        self._part_totals: dict[str, dict[int, int]] = {"left": {}, "right": {}}
+        #: cumulative accounting (never decremented on restore)
         self.spilled_rows = 0
         self.reads = 0
+        self.spilled_bytes = 0
+        self.reread_bytes = 0
+        self.restored_rows = 0
+        #: rows parked while their site was gone (DHT-backed sinks only —
+        #: the base sink always counts 0)
+        self.orphan_rows = 0
 
-    def write(self, side: str, rows: list[Row]) -> None:
-        """Persist ``rows`` of ``side``'s hash table."""
-        partition = self._rows[side]
-        for row in rows:
-            partition.setdefault(row[self.column], []).append(row)
-        self.spilled_rows += len(rows)
+    # -- eviction --------------------------------------------------------
 
-    def read(self, side: str, key: Any) -> list[Row]:
-        """Re-read ``side``'s spilled rows whose join column equals ``key``."""
+    def write_rows(self, side: str, pid: int, mapping: dict[Any, list[Row]]) -> None:
+        """Park a rows-mode partition: join key -> its build rows."""
+        partition = self._rows[side].setdefault(pid, {})
+        rows = 0
+        for key, entry in mapping.items():
+            partition.setdefault(key, []).extend(entry)
+            rows += len(entry)
+        self._account_write(side, pid, rows)
+
+    def write_counts(self, side: str, pid: int, mapping: dict[Any, int]) -> None:
+        """Park a keys-mode partition compactly: join key -> multiplicity."""
+        partition = self._counts[side].setdefault(pid, {})
+        rows = 0
+        for key, count in mapping.items():
+            partition[key] = partition.get(key, 0) + count
+            rows += count
+        self._account_write(side, pid, rows)
+
+    def _account_write(self, side: str, pid: int, rows: int) -> None:
+        self.spilled_rows += rows
+        self.spilled_bytes += rows * self.row_bytes
+        totals = self._part_totals[side]
+        totals[pid] = totals.get(pid, 0) + rows
+
+    # -- single-row routing (a spilled partition staying spilled) --------
+
+    def route_row(self, side: str, pid: int, key: Any, row: Row) -> None:
+        """Append one rows-mode build row straight into a spilled partition.
+
+        The per-insert fast path of :meth:`write_rows`, used by the join
+        when a build row lands in a partition that is already spilled.
+        """
+        partition = self._rows[side].setdefault(pid, {})
+        entry = partition.get(key)
+        if entry is None:
+            partition[key] = [row]
+        else:
+            entry.append(row)
+        self._account_write(side, pid, 1)
+
+    def route_count(self, side: str, pid: int, key: Any) -> bool:
+        """Bump one keys-mode multiplicity in a spilled partition.
+
+        Returns True when ``key`` is new to the partition — the DHT sink
+        uses that to keep its surface at one tuple per distinct key.
+        """
+        partition = self._counts[side].setdefault(pid, {})
+        count = partition.get(key)
+        partition[key] = 1 if count is None else count + 1
+        self._account_write(side, pid, 1)
+        return count is None
+
+    # -- probe re-reads --------------------------------------------------
+
+    def read_rows(self, side: str, pid: int, key: Any) -> list[Row]:
+        """Re-read ``key``'s rows out of one spilled partition."""
         self.reads += 1
-        return list(self._rows[side].get(key, ()))
+        matches = self._rows[side].get(pid, {}).get(key)
+        if not matches:
+            return []
+        self.reread_bytes += len(matches) * self.row_bytes
+        return list(matches)
+
+    def read_count(self, side: str, pid: int, key: Any) -> int:
+        """Re-read ``key``'s multiplicity out of one spilled partition."""
+        self.reads += 1
+        count = self._counts[side].get(pid, {}).get(key, 0)
+        self.reread_bytes += count * self.row_bytes
+        return count
+
+    # -- restore ---------------------------------------------------------
+
+    def take_rows(self, side: str, pid: int) -> dict[Any, list[Row]]:
+        """Remove and return a spilled rows-mode partition."""
+        mapping = self._rows[side].pop(pid, {})
+        self.restored_rows += self._part_totals[side].pop(pid, 0)
+        return mapping
+
+    def take_counts(self, side: str, pid: int) -> dict[Any, int]:
+        """Remove and return a spilled keys-mode partition."""
+        mapping = self._counts[side].pop(pid, {})
+        self.restored_rows += self._part_totals[side].pop(pid, 0)
+        return mapping
+
+    # -- inspection ------------------------------------------------------
+
+    def partition_rows(self, side: str, pid: int) -> int:
+        """Logical rows currently parked in one spilled partition."""
+        return self._part_totals[side].get(pid, 0)
 
     def has_spilled(self, side: str) -> bool:
-        return bool(self._rows[side])
+        return bool(self._rows[side]) or bool(self._counts[side])
+
+    def clear(self) -> None:
+        """Drop all parked state (query teardown)."""
+        for store in (self._rows, self._counts, self._part_totals):
+            for side in store.values():
+                side.clear()
 
 
 class SymmetricHashJoin(Operator):
@@ -260,11 +418,21 @@ class SymmetricHashJoin(Operator):
     path. The two APIs must not be mixed on one instance (the first
     insert pins the mode; mixing raises :class:`TypeError`).
 
-    With ``memory_budget`` set, the join holds at most that many rows in
-    its in-memory tables; overflow is flushed to ``spill_sink`` (a
-    :class:`SpillSink`, by default an in-memory one) and probes transparently
-    re-read the spilled partitions — the classic hybrid-hash trade of
-    memory for re-reads, without changing the output set.
+    With ``memory_budget`` set, the join holds at most that many **rows**
+    (not bytes) across both in-memory tables, hash-partitioned by
+    :func:`spill_partition`. On overflow it evicts whole *partitions* —
+    largest first, from whichever side is currently larger (role reversal
+    when the "small" build side turns out large mid-stream) — to
+    ``spill_sink`` (a :class:`SpillSink`, by default an in-memory one).
+    Probes consult the per-partition spilled index, so keys in
+    never-spilled partitions cost zero sink reads; a spilled partition
+    *stays* spilled — later build rows for it route straight to the sink
+    rather than refilling memory — until enough budget frees up to
+    restore it incrementally. This is the
+    memory-for-re-reads trade of a dynamic hybrid hash join, and it never
+    changes the output set. ``spill_policy="all"`` keeps the legacy
+    all-or-nothing behaviour (one row over budget flushes both sides
+    wholesale) for comparison experiments.
     """
 
     def __init__(
@@ -274,19 +442,53 @@ class SymmetricHashJoin(Operator):
         column: str = "fileID",
         memory_budget: int | None = None,
         spill_sink: SpillSink | None = None,
+        num_partitions: int = NUM_SPILL_PARTITIONS,
+        spill_policy: str = "partitioned",
     ):
         if memory_budget is not None and memory_budget < 1:
             raise ValueError(f"memory_budget must be >= 1, got {memory_budget}")
+        if num_partitions < 1:
+            raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+        if spill_policy not in ("partitioned", "all"):
+            raise ValueError(
+                f"spill_policy must be 'partitioned' or 'all', got {spill_policy!r}"
+            )
         self.left = left
         self.right = right
         self.column = column
         self.memory_budget = memory_budget
+        self.num_partitions = num_partitions
+        self.spill_policy = spill_policy
+        #: only the partitioned policy keeps evicted partitions spilled —
+        #: the legacy "all" policy refills memory and re-flushes (that
+        #: churn is the cliff the experiments measure against)
+        self._stay_spilled = spill_policy == "partitioned"
         self.spill_sink = spill_sink or (SpillSink(column) if memory_budget else None)
         self._tables: dict[str, dict[Any, list[Row]]] = {"left": {}, "right": {}}
         #: key-only fast path build state: join key -> multiplicity
         self._key_tables: dict[str, dict[Any, int]] = {"left": {}, "right": {}}
         self._mode: str | None = None  # "rows" or "keys", pinned on first insert
         self._in_memory = {"left": 0, "right": 0}
+        #: partition bookkeeping, maintained only while a budget is set:
+        #: resident rows per partition, resident keys per partition, and
+        #: which partitions currently have spilled state.
+        self._part_rows: dict[str, list[int]] = {"left": [], "right": []}
+        self._part_keys: dict[str, list[set]] = {"left": [], "right": []}
+        self._spilled: dict[str, set[int]] = {"left": set(), "right": set()}
+        #: partition bookkeeping is *lazy*: a budgeted join pays nothing
+        #: per insert until its first overflow, when the resident tables
+        #: are partitioned once (``_rebuild_partition_index``) and
+        #: per-insert maintenance switches on
+        self._tracking = False
+        #: direct handle on the shared key→partition memo (the tracked
+        #: insert path probes it inline, one dict get per insert)
+        self._pid_memo = _partition_memo_for(num_partitions)
+        #: which side eviction currently targets; a flip mid-stream is a
+        #: role reversal (the "small" build side turned out large).
+        self._victim_side: str | None = None
+        self.partition_evictions = 0
+        self.partition_restores = 0
+        self.role_reversals = 0
         # Exposed for tests: peak *in-memory* table sizes during the join.
         self.peak_left_table = 0
         self.peak_right_table = 0
@@ -321,36 +523,66 @@ class SymmetricHashJoin(Operator):
             )
 
     def _insert(self, side: str, other: str, row: Row) -> list[Row]:
-        self._pin_mode("rows")
+        if self._mode != "rows":
+            self._pin_mode("rows")
         key = row[self.column]
         merged: list[Row] = []
         matches = self._tables[other].get(key)
-        sink = self.spill_sink
         if matches:
             for match in matches:
                 # The right side wins column collisions, whichever arrives
                 # last; one dict per *output* row, nothing intermediate.
                 merged.append({**row, **match} if side == "left" else {**match, **row})
-        if sink is not None and sink.has_spilled(other):
-            for match in sink.read(other, key):
-                merged.append({**row, **match} if side == "left" else {**match, **row})
+        tracking = self._tracking
+        if tracking:
+            pid = self._pid_memo.get(key)
+            if pid is None:
+                pid = spill_partition(key, self.num_partitions)
+            # Never-spilled partitions cost zero sink reads.
+            if pid in self._spilled[other]:
+                for match in self.spill_sink.read_rows(other, pid, key):
+                    merged.append(
+                        {**row, **match} if side == "left" else {**match, **row}
+                    )
+            if self._stay_spilled and pid in self._spilled[side]:
+                # Classic hybrid hash: a spilled partition *stays*
+                # spilled — its later build rows route straight to the
+                # sink instead of refilling memory only to be evicted
+                # again a few inserts later.
+                self.spill_sink.route_row(side, pid, key, row)
+                return merged
         table = self._tables[side]
         entry = table.get(key)
         if entry is None:
             table[key] = [row]
         else:
             entry.append(row)
+        if tracking:
+            self._part_rows[side][pid] += 1
+            self._part_keys[side][pid].add(key)
         self._count_insert(side)
         return merged
 
     def _insert_key(self, side: str, other: str, key: Any) -> int:
-        self._pin_mode("keys")
+        if self._mode != "keys":
+            self._pin_mode("keys")
         count = self._key_tables[other].get(key, 0)
-        sink = self.spill_sink
-        if sink is not None and sink.has_spilled(other):
-            count += len(sink.read(other, key))
+        tracking = self._tracking
+        if tracking:
+            pid = self._pid_memo.get(key)
+            if pid is None:
+                pid = spill_partition(key, self.num_partitions)
+            if pid in self._spilled[other]:
+                count += self.spill_sink.read_count(other, pid, key)
+            if self._stay_spilled and pid in self._spilled[side]:
+                # Spilled partitions stay spilled (see _insert).
+                self.spill_sink.route_count(side, pid, key)
+                return count
         table = self._key_tables[side]
         table[key] = table.get(key, 0) + 1
+        if tracking:
+            self._part_rows[side][pid] += 1
+            self._part_keys[side][pid].add(key)
         self._count_insert(side)
         return count
 
@@ -363,27 +595,170 @@ class SymmetricHashJoin(Operator):
                 self.peak_left_table = size
         elif size > self.peak_right_table:
             self.peak_right_table = size
-        if self.memory_budget is not None:
+        budget = self.memory_budget
+        if budget is not None and in_memory["left"] + in_memory["right"] > budget:
             self._maybe_spill()
 
-    def _maybe_spill(self) -> None:
-        if self._in_memory["left"] + self._in_memory["right"] <= self.memory_budget:
+    # -- spill / restore machinery ---------------------------------------
+
+    def set_memory_budget(self, budget: int | None) -> None:
+        """Re-budget the join mid-stream.
+
+        Tightening the budget evicts immediately; loosening (or lifting
+        it with ``None``) restores spilled partitions back into memory.
+        """
+        if budget is not None and budget < 1:
+            raise ValueError(f"memory_budget must be >= 1, got {budget}")
+        if budget is None:
+            sink = self.spill_sink
+            if sink is not None and self.memory_budget is not None:
+                for side in ("left", "right"):
+                    for pid in sorted(self._spilled[side]):
+                        self._restore_partition(side, pid)
+            self.memory_budget = None
+            # Unbudgeted inserts skip partition maintenance, so the index
+            # goes stale; a later re-budget rebuilds it on first overflow.
+            self._tracking = False
             return
-        column = self.column
+        was_unbudgeted = self.memory_budget is None
+        self.memory_budget = budget
+        if was_unbudgeted:
+            if self.spill_sink is None:
+                self.spill_sink = SpillSink(self.column)
+            self._tracking = False
+        if self._in_memory["left"] + self._in_memory["right"] > budget:
+            self._maybe_spill()
+        else:
+            self._maybe_restore()
+
+    def _rebuild_partition_index(self) -> None:
+        """(Re)derive per-partition bookkeeping from the resident tables.
+
+        Needed when a budget is first applied to a join that grew without
+        one — the unbudgeted insert path deliberately skips partition
+        bookkeeping to keep the default hot path allocation-free.
+        """
+        fan_out = self.num_partitions
         for side in ("left", "right"):
+            rows = self._part_rows[side] = [0] * fan_out
+            keys = self._part_keys[side] = [set() for _ in range(fan_out)]
             if self._mode == "keys":
-                table = self._key_tables[side]
-                rows = [
-                    {column: key} for key, count in table.items() for _ in range(count)
-                ]
+                for key, count in self._key_tables[side].items():
+                    pid = spill_partition(key, self.num_partitions)
+                    rows[pid] += count
+                    keys[pid].add(key)
             else:
-                table = self._tables[side]
-                rows = [row for entry in table.values() for row in entry]
-            if not rows:
-                continue
-            self.spill_sink.write(side, rows)
-            table.clear()
-            self._in_memory[side] = 0
+                for key, entry in self._tables[side].items():
+                    pid = spill_partition(key, self.num_partitions)
+                    rows[pid] += len(entry)
+                    keys[pid].add(key)
+
+    def _maybe_spill(self) -> None:
+        budget = self.memory_budget
+        in_memory = self._in_memory
+        if in_memory["left"] + in_memory["right"] <= budget:
+            return
+        if not self._tracking:
+            # First overflow: partition the resident tables once, then
+            # keep the index maintained per insert from here on.
+            self._rebuild_partition_index()
+            self._tracking = True
+        if self.spill_policy == "all":
+            # Legacy cliff: one row over budget flushes both sides whole.
+            for side in ("left", "right"):
+                for pid in range(self.num_partitions):
+                    if self._part_rows[side][pid]:
+                        self._evict_partition(side, pid)
+            return
+        while in_memory["left"] + in_memory["right"] > budget:
+            # Skew-aware victim choice: the larger resident side loses its
+            # largest partition. A victim-side flip mid-stream is role
+            # reversal — the side built as "small" outgrew the other.
+            victim = "left" if in_memory["left"] >= in_memory["right"] else "right"
+            if self._victim_side is None:
+                self._victim_side = victim
+            elif victim != self._victim_side:
+                self.role_reversals += 1
+                self._victim_side = victim
+            part_rows = self._part_rows[victim]
+            pid = max(range(self.num_partitions), key=part_rows.__getitem__)
+            if not part_rows[pid]:
+                break
+            self._evict_partition(victim, pid)
+        self._maybe_restore()
+
+    def _evict_partition(self, side: str, pid: int) -> None:
+        keys = self._part_keys[side][pid]
+        if self._mode == "keys":
+            # Compact spill: one (key, count) entry per distinct key, not
+            # one row dict per multiplicity.
+            key_table = self._key_tables[side]
+            self.spill_sink.write_counts(
+                side, pid, {key: key_table.pop(key) for key in keys}
+            )
+        else:
+            table = self._tables[side]
+            self.spill_sink.write_rows(
+                side, pid, {key: table.pop(key) for key in keys}
+            )
+        keys.clear()
+        self._in_memory[side] -= self._part_rows[side][pid]
+        self._part_rows[side][pid] = 0
+        self._spilled[side].add(pid)
+        self.partition_evictions += 1
+
+    def _maybe_restore(self) -> None:
+        """Bring small spilled partitions back while budget allows.
+
+        Hysteresis: a partition only returns while it fits in *half* the
+        current slack, so a restore can never trigger the next eviction
+        and evict/restore ping-pong is impossible.
+        """
+        sink = self.spill_sink
+        if sink is None:
+            return
+        budget = self.memory_budget
+        while True:
+            slack = budget - self._in_memory["left"] - self._in_memory["right"]
+            if slack < 2:
+                return
+            best: tuple[int, str, int] | None = None
+            for side in ("left", "right"):
+                for pid in self._spilled[side]:
+                    rows = sink.partition_rows(side, pid)
+                    if rows and rows <= slack // 2 and (
+                        best is None or (rows, side, pid) < best
+                    ):
+                        best = (rows, side, pid)
+            if best is None:
+                return
+            self._restore_partition(best[1], best[2])
+
+    def _restore_partition(self, side: str, pid: int) -> None:
+        sink = self.spill_sink
+        keys = self._part_keys[side][pid]
+        restored = 0
+        if self._mode == "keys":
+            key_table = self._key_tables[side]
+            for key, count in sink.take_counts(side, pid).items():
+                key_table[key] = key_table.get(key, 0) + count
+                keys.add(key)
+                restored += count
+        else:
+            table = self._tables[side]
+            for key, entry in sink.take_rows(side, pid).items():
+                table.setdefault(key, []).extend(entry)
+                keys.add(key)
+                restored += len(entry)
+        self._part_rows[side][pid] += restored
+        self._in_memory[side] += restored
+        self._spilled[side].discard(pid)
+        self.partition_restores += 1
+
+    @property
+    def spilled_partitions(self) -> dict[str, set[int]]:
+        """Partitions currently holding spilled state, per side."""
+        return {side: set(pids) for side, pids in self._spilled.items()}
 
     @property
     def spilled_rows(self) -> int:
@@ -392,6 +767,18 @@ class SymmetricHashJoin(Operator):
     @property
     def spill_reads(self) -> int:
         return self.spill_sink.reads if self.spill_sink else 0
+
+    @property
+    def spilled_bytes(self) -> int:
+        return self.spill_sink.spilled_bytes if self.spill_sink else 0
+
+    @property
+    def reread_bytes(self) -> int:
+        return self.spill_sink.reread_bytes if self.spill_sink else 0
+
+    @property
+    def restored_rows(self) -> int:
+        return self.spill_sink.restored_rows if self.spill_sink else 0
 
     # -- iterator driver -------------------------------------------------
 

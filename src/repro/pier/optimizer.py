@@ -95,6 +95,11 @@ class OptimizerConfig:
     join_selectivity: float = 0.1
     #: overlay hops charged per routed leg (None = log2 of the live ring)
     hop_estimate: int | None = None
+    #: per-join-site *row* budget the executing runtime will apply
+    #: (None = unbounded). When set, each strategy is additionally priced
+    #: for the spill + re-read bytes its join stages are expected to pay
+    #: — memory pressure becomes part of strategy choice.
+    memory_budget: int | None = None
 
 
 @dataclass(frozen=True)
@@ -106,6 +111,9 @@ class CostEstimate:
     #: human-readable breakdown (plan / shipping terms), for experiment
     #: tables and golden-file review
     detail: str
+    #: expected spill + re-read bytes under the configured memory budget
+    #: (0 when unbudgeted); already included in ``bytes``
+    spill_bytes: int = 0
 
     @property
     def kilobytes(self) -> float:
@@ -174,6 +182,27 @@ class CostBasedOptimizer:
         """Estimated entries surviving onto leg ``leg`` (1-based)."""
         return int(round(n1 * self.config.join_selectivity ** (leg - 1)))
 
+    def _spill_bytes(self, arriving: int, local: int) -> int:
+        """Expected spill + re-read bytes of one budgeted join stage.
+
+        A join site holds ``local`` build entries plus the ``arriving``
+        probe-side entries; the excess over the row budget is evicted
+        once (spilled bytes) and arriving probes re-read spilled
+        partitions roughly in proportion to the evicted fraction of the
+        build state (re-read bytes). Both are priced at
+        :meth:`~repro.common.units.CostModel.spill_tuple_bytes` — local
+        storage cost, not wire cost, but cost all the same.
+        """
+        budget = self.config.memory_budget
+        if budget is None:
+            return 0
+        resident = arriving + local
+        excess = resident - budget
+        if excess <= 0:
+            return 0
+        reread = arriving * excess / resident
+        return int(round((excess + reread) * self.cost_model.spill_tuple_bytes()))
+
     def estimates(
         self, sizes: dict[str, int], inverted_cache: bool | None = None
     ) -> dict[JoinStrategy, CostEstimate]:
@@ -220,22 +249,45 @@ class CostBasedOptimizer:
             filter_bytes + header
             + sum(cost.digest_bytes(c) + header for c in candidates)
         )
+        # Memory-pressure term (0 when unbudgeted): the chain strategies
+        # run one SHJ per downstream site — arriving entries probe/build
+        # against the local list, and any excess over the row budget
+        # spills. The Bloom chain's probe and verify stages hold no join
+        # build state, so only stages 3..k pay — with filter false
+        # positives inflating their arriving counts.
+        chain_spill = sum(
+            self._spill_bytes(self._survivors(n1, leg), ordered[leg])
+            for leg in range(1, k)
+        )
+        bloom_spill = sum(
+            self._spill_bytes(arriving, local)
+            for arriving, local in zip(candidates[: k - 2], ordered[2:])
+        )
+
+        def _detail(base: str, spill: int) -> str:
+            return f"{base} + spill {spill}B" if spill else base
 
         results = {
             JoinStrategy.DISTRIBUTED_JOIN: CostEstimate(
                 JoinStrategy.DISTRIBUTED_JOIN,
-                plan + dist_ship,
-                f"plan {plan}B + framed tuples {dist_ship}B",
+                plan + dist_ship + chain_spill,
+                _detail(f"plan {plan}B + framed tuples {dist_ship}B", chain_spill),
+                spill_bytes=chain_spill,
             ),
             JoinStrategy.SEMI_JOIN: CostEstimate(
                 JoinStrategy.SEMI_JOIN,
-                plan + semi_ship,
-                f"plan {plan}B + key digests {semi_ship}B",
+                plan + semi_ship + chain_spill,
+                _detail(f"plan {plan}B + key digests {semi_ship}B", chain_spill),
+                spill_bytes=chain_spill,
             ),
             JoinStrategy.BLOOM_JOIN: CostEstimate(
                 JoinStrategy.BLOOM_JOIN,
-                plan + bloom_ship,
-                f"plan {plan}B + filter {filter_bytes}B + candidate digests",
+                plan + bloom_ship + bloom_spill,
+                _detail(
+                    f"plan {plan}B + filter {filter_bytes}B + candidate digests",
+                    bloom_spill,
+                ),
+                spill_bytes=bloom_spill,
             ),
         }
         ic_available = (

@@ -97,6 +97,64 @@ class DistributedPlan:
 
 
 @dataclass
+class SpillStats:
+    """Memory-budgeted join accounting, aggregated across a query's joins.
+
+    Present on ``QueryStats.spill`` only when the execution ran under a
+    join ``memory_budget`` (which counts *rows*, not bytes); unbudgeted
+    runs carry ``None``. Byte figures are priced at
+    :meth:`repro.common.units.CostModel.spill_tuple_bytes` per logical
+    row — spills land in the site-local DHT temp-tuple store, so they
+    cost storage and re-read work but never wire bytes.
+    """
+
+    #: join build rows parked in spill partitions (cumulative)
+    spilled_tuples: int = 0
+    #: probe-time sink reads — only probes into *spilled* partitions count
+    spill_reads: int = 0
+    #: bytes written to spill storage (spilled_tuples × spill tuple size)
+    spilled_bytes: int = 0
+    #: bytes re-read from spill storage by probes
+    reread_bytes: int = 0
+    #: whole-partition evictions (the spill granularity)
+    partition_evictions: int = 0
+    #: whole-partition restores back into memory after budget freed up
+    partition_restores: int = 0
+    #: eviction-side flips — the "small" build side outgrew the other
+    role_reversals: int = 0
+    #: rows spilled after their site churned out, parked in the base
+    #: in-memory sink instead of the DHT temp store
+    orphan_rows: int = 0
+
+    def merge(self, other: "SpillStats") -> None:
+        """Accumulate another join's (or shard's) spill accounting."""
+        self.spilled_tuples += other.spilled_tuples
+        self.spill_reads += other.spill_reads
+        self.spilled_bytes += other.spilled_bytes
+        self.reread_bytes += other.reread_bytes
+        self.partition_evictions += other.partition_evictions
+        self.partition_restores += other.partition_restores
+        self.role_reversals += other.role_reversals
+        self.orphan_rows += other.orphan_rows
+
+
+def spill_stats_from_join(join) -> SpillStats:
+    """Snapshot one :class:`~repro.pier.operators.SymmetricHashJoin`'s
+    spill accounting (duck-typed so this module need not import the
+    operator layer)."""
+    return SpillStats(
+        spilled_tuples=join.spilled_rows,
+        spill_reads=join.spill_reads,
+        spilled_bytes=join.spilled_bytes,
+        reread_bytes=join.reread_bytes,
+        partition_evictions=join.partition_evictions,
+        partition_restores=join.partition_restores,
+        role_reversals=join.role_reversals,
+        orphan_rows=join.spill_sink.orphan_rows if join.spill_sink else 0,
+    )
+
+
+@dataclass
 class PipelineStats:
     """What the streaming dataflow runtime adds to a query's statistics.
 
@@ -133,6 +191,8 @@ class QueryStats:
     mode: str = "atomic"
     #: batch/pipeline metadata (pipelined executions only)
     pipeline: "PipelineStats | None" = None
+    #: memory-budgeted join accounting (budgeted executions only)
+    spill: "SpillStats | None" = None
     results: int = 0
     #: posting-list entries shipped between sites (Section 5's key metric);
     #: for SEMI_JOIN/BLOOM_JOIN these ship as packed key digests, so the

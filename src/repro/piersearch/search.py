@@ -13,7 +13,7 @@ from repro.common.errors import PlanError
 from repro.dht.network import DhtNetwork
 from repro.pier.catalog import Catalog
 from repro.pier.executor import DistributedExecutor
-from repro.pier.optimizer import CostBasedOptimizer
+from repro.pier.optimizer import CostBasedOptimizer, OptimizerConfig
 from repro.pier.planner import KeywordPlanner
 from repro.pier.query import DistributedPlan, JoinStrategy, QueryStats
 from repro.pier.schema import Row
@@ -46,6 +46,7 @@ class SearchEngine:
         inverted_cache: bool = False,
         mode: str = "atomic",
         optimizer: CostBasedOptimizer | bool | None = None,
+        memory_budget: int | None = None,
         tracer=None,
         metrics=None,
     ):
@@ -60,8 +61,14 @@ class SearchEngine:
         #: strategies and execute the cheapest. The optimizer targets
         #: Inverted-index deployments — an InvertedCache deployment has
         #: already made its strategy choice, so it is ignored there.
+        #: ``memory_budget`` (join rows per site, not bytes) makes the
+        #: default optimizer price expected spill + re-read bytes too.
         if optimizer is True:
-            optimizer = CostBasedOptimizer(catalog, metrics=metrics)
+            optimizer = CostBasedOptimizer(
+                catalog,
+                config=OptimizerConfig(memory_budget=memory_budget),
+                metrics=metrics,
+            )
         self.optimizer = optimizer or None
         self.planner = KeywordPlanner(catalog, optimizer=self.optimizer)
         self.executor = DistributedExecutor(

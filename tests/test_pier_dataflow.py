@@ -9,6 +9,7 @@ from repro.pier.dataflow import DataflowConfig, DataflowExecutor, temp_ring_key
 from repro.pier.executor import DistributedExecutor
 from repro.pier.operators import Scan, SpillSink, SymmetricHashJoin
 from repro.pier.planner import KeywordPlanner
+from repro.obs.metrics import MetricsRegistry
 from repro.piersearch.publisher import Publisher
 from repro.piersearch.search import SearchEngine
 from repro.sim.engine import Simulator
@@ -133,7 +134,26 @@ class TestMemoryBudgetSpill:
         assert stats.pipeline.spilled_tuples > 0
         assert stats.pipeline.spill_reads > 0
 
-    def test_spill_state_released_at_completion(self):
+    def _spill_ring_keys(self, query_id, partitions=8, stages=4):
+        """Every ring key a budgeted query's spill sinks could use: one
+        per (stage, side, partition) under the ``spill-{side}-p{pid}``
+        tag."""
+        return {
+            temp_ring_key(query_id, stage, f"spill-{side}-p{pid}")
+            for stage in range(stages)
+            for side in ("left", "right")
+            for pid in range(partitions)
+        }
+
+    def _stored_spill_keys(self, network, spill_keys):
+        return {
+            ring_key
+            for node in network.nodes.values()
+            for ring_key, values in node.store.items()
+            if ring_key in spill_keys and values
+        }
+
+    def test_spill_state_surfaces_per_partition_and_is_released(self):
         network, catalog = build_world(num_files=40)
         plan = plan_for(network, catalog, ["nebula", "quasar"], batch_size=4)
         budgeted = DataflowExecutor(
@@ -142,15 +162,88 @@ class TestMemoryBudgetSpill:
             config=DataflowConfig(batch_size=4, memory_budget=3),
             rng=11,
         )
-        budgeted.execute(plan)
+        spill_keys = self._spill_ring_keys(query_id=1)
+        seen_mid_run = set()
+        query = budgeted.submit(plan)
+
+        def snapshot():
+            seen_mid_run.update(self._stored_spill_keys(network, spill_keys))
+            if not query.done:
+                budgeted.sim.schedule(0.5, snapshot)
+
+        budgeted.sim.schedule(0.5, snapshot)
+        budgeted.sim.run()
+        assert query.done and query.error is None
+        # The spill surface was really there mid-run, under the
+        # per-partition temp-tuple tags...
+        assert query.stats.pipeline.spilled_tuples > 0
+        assert seen_mid_run
+        # ...and completion released every one of those keys.
+        assert self._stored_spill_keys(network, spill_keys) == set()
+
+    def _run_budgeted_with_kill(self, kill):
+        """Submit a budgeted two-term query and run ``kill(network,
+        plan)`` at t=4.1 — after the join stages have spilled (the spill
+        trace for this seeded world starts just before t=4.0) but while
+        build batches are still arriving."""
+        network, catalog = build_world(num_files=40)
+        plan = plan_for(network, catalog, ["nebula", "quasar"], batch_size=2)
+        metrics = MetricsRegistry()
+        budgeted = DataflowExecutor(
+            network,
+            catalog,
+            config=DataflowConfig(batch_size=2, memory_budget=3),
+            rng=11,
+            metrics=metrics,
+        )
+        query = budgeted.submit(plan)
+        budgeted.sim.schedule(4.1, lambda: kill(network, plan))
+        budgeted.sim.run()
         spill_keys = {
-            temp_ring_key(1, stage, f"spill-{side}")
+            temp_ring_key(1, stage, f"spill-{side}-p{pid}")
             for stage in range(4)
             for side in ("left", "right")
+            for pid in range(8)
         }
-        for node in network.nodes.values():
-            for ring_key, values in node.store.items():
-                assert ring_key not in spill_keys or not values
+        leftover = {
+            ring_key
+            for node in network.nodes.values()
+            for ring_key, values in node.store.items()
+            if ring_key in spill_keys and values
+        }
+        return query, metrics, leftover
+
+    def test_orphan_rows_labelled_and_released_after_site_churn(self):
+        """Regression: rows spilled after their site churned out used to
+        land in the in-memory sink with no accounting distinction. They
+        must surface as the ``operator.spill.orphan_rows`` metric and be
+        released with the query's other temp state."""
+
+        def kill_join_sites(network, plan):
+            for stage in plan.stages[1:]:
+                if stage.site in network.nodes and network.size > 1:
+                    network.remove_node(stage.site, graceful=False)
+
+        query, metrics, leftover = self._run_budgeted_with_kill(kill_join_sites)
+        assert query.done
+        assert metrics.counter("operator.spill.rows").value > 0
+        assert metrics.counter("operator.spill.orphan_rows").value > 0
+        assert leftover == set()
+
+    def test_spill_state_released_on_pipeline_failure(self):
+        """A query that *fails* mid-spill must release its spill surface
+        exactly like a completing one."""
+
+        def collapse(network, plan):
+            for node_id in list(network.nodes):
+                if network.size > 1:
+                    network.remove_node(node_id, graceful=False)
+
+        query, metrics, leftover = self._run_budgeted_with_kill(collapse)
+        assert query.done and query.error is not None
+        assert metrics.counter("operator.spill.rows").value > 0
+        assert metrics.counter("operator.spill.orphan_rows").value > 0
+        assert leftover == set()
 
     def test_incremental_shj_spills_and_matches(self):
         left = [{"k": i % 3, "side": "l", "i": i} for i in range(9)]

@@ -136,6 +136,71 @@ class TestCostModel:
         assert fixed.hop_estimate() == 7
 
 
+class TestMemoryPressurePricing:
+    """With a row budget configured, expected spill + re-read bytes are
+    part of every strategy's price — and can flip the pick."""
+
+    SIZES = {"rarex": 10, "popular": 500}
+
+    def make(self, memory_budget=None):
+        network, catalog = build_world(popular=5, rare=2, overlap=1)
+        return CostBasedOptimizer(
+            catalog,
+            config=OptimizerConfig(hop_estimate=4, memory_budget=memory_budget),
+        )
+
+    def test_unbudgeted_pricing_is_unchanged(self):
+        """memory_budget=None (the default) must price exactly as before
+        the memory-pressure term existed: zero spill on every estimate."""
+        free = self.make().estimates(self.SIZES)
+        explicit = self.make(memory_budget=None).estimates(self.SIZES)
+        for strategy, estimate in free.items():
+            assert estimate.spill_bytes == 0
+            assert "spill" not in estimate.detail
+            assert explicit[strategy].bytes == estimate.bytes
+
+    def test_spill_term_is_additive_and_included(self):
+        """A budgeted estimate is the unbudgeted wire cost plus its own
+        ``spill_bytes`` — the term is priced in, not just reported."""
+        free = self.make().estimates(self.SIZES)
+        tight = self.make(memory_budget=32).estimates(self.SIZES)
+        chains = (JoinStrategy.DISTRIBUTED_JOIN, JoinStrategy.SEMI_JOIN)
+        for strategy in chains:
+            estimate = tight[strategy]
+            assert estimate.spill_bytes > 0
+            assert "spill" in estimate.detail
+            assert estimate.bytes == free[strategy].bytes + estimate.spill_bytes
+        # Ample budget: nothing overflows, pricing matches unbudgeted.
+        ample = self.make(memory_budget=10_000).estimates(self.SIZES)
+        for strategy, estimate in ample.items():
+            assert estimate.spill_bytes == 0
+            assert estimate.bytes == free[strategy].bytes
+
+    def test_tightening_budget_never_cheapens_spill(self):
+        budgets = (10_000, 512, 128, 32, 8)
+        spills = [
+            self.make(memory_budget=b)
+            .estimates(self.SIZES)[JoinStrategy.SEMI_JOIN]
+            .spill_bytes
+            for b in budgets
+        ]
+        assert spills == sorted(spills)
+
+    def test_tight_budget_flips_pick_to_bloom(self):
+        """The shift the ``ext_join`` sweep records: on a two-term
+        rare x popular query the chain strategies build the popular list
+        at the join site and pay its spill, while the Bloom chain's probe
+        and verify stages hold no build state — so memory pressure flips
+        a semi-join pick to the Bloom join."""
+        free = self.make()
+        tight = self.make(memory_budget=32)
+        assert free.choose(self.SIZES) is JoinStrategy.SEMI_JOIN
+        assert tight.choose(self.SIZES) is JoinStrategy.BLOOM_JOIN
+        assert (
+            tight.estimates(self.SIZES)[JoinStrategy.BLOOM_JOIN].spill_bytes == 0
+        )
+
+
 class TestGoldenChoices:
     """Cost-model changes must be reviewed, not silent: the optimizer's
     choices (and byte estimates) on a canonical stats table are pinned in

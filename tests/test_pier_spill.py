@@ -1,0 +1,294 @@
+"""Unit tests for the partitioned hybrid hash join's spill machinery.
+
+Covers the memory-adaptive core of :class:`SymmetricHashJoin`: largest-
+partition eviction, the per-partition spilled index that keeps
+never-spilled probes free of sink reads, stay-spilled routing, role
+reversal, incremental restore when the budget frees up, the compact
+keys-mode spill representation, and the legacy all-or-nothing policy
+kept for comparison experiments.
+"""
+
+import pytest
+
+from repro.pier.operators import (
+    NUM_SPILL_PARTITIONS,
+    Scan,
+    SpillSink,
+    SymmetricHashJoin,
+    spill_partition,
+)
+
+
+def keys_in_partition(pid, num_partitions, count, start=0):
+    """The first ``count`` int keys >= ``start`` hashing to ``pid``."""
+    found, key = [], start
+    while len(found) < count:
+        if spill_partition(key, num_partitions) == pid:
+            found.append(key)
+        key += 1
+    return found
+
+
+def rows_for(keys, side):
+    return [{"k": key, "tag": f"{side}{i}"} for i, key in enumerate(keys)]
+
+
+def make_join(budget, policy="partitioned", partitions=4):
+    return SymmetricHashJoin(
+        column="k",
+        memory_budget=budget,
+        num_partitions=partitions,
+        spill_policy=policy,
+    )
+
+
+class TestPartitionedEviction:
+    def test_overflow_evicts_only_the_largest_partition(self):
+        join = make_join(budget=8)
+        big = keys_in_partition(0, 4, 6)
+        small = keys_in_partition(1, 4, 3)
+        for row in rows_for(big + small, "l"):
+            join.insert_left(row)
+        # 9 rows against a budget of 8: exactly one eviction, and it
+        # takes the 6-row partition, leaving the 3-row one resident.
+        assert join.partition_evictions == 1
+        assert join.spilled_partitions["left"] == {0}
+        assert join.spilled_rows == 6
+        assert join._in_memory["left"] == 3
+
+    def test_budgeted_join_below_budget_never_tracks_or_spills(self):
+        join = make_join(budget=100)
+        for row in rows_for(keys_in_partition(0, 4, 10), "l"):
+            join.insert_left(row)
+        assert join.spilled_rows == 0
+        # Partition bookkeeping is lazy: it only switches on at the
+        # first overflow, so pre-spill inserts stay near-free.
+        assert join._tracking is False
+
+    def test_all_policy_flushes_both_sides_wholesale(self):
+        join = make_join(budget=8, policy="all")
+        left = keys_in_partition(0, 4, 3) + keys_in_partition(1, 4, 2)
+        right = keys_in_partition(2, 4, 4, start=1000)
+        for row in rows_for(left, "l"):
+            join.insert_left(row)
+        for row in rows_for(right, "r"):
+            join.insert_right(row)
+        # One row over budget flushed everything: both sides' nonempty
+        # partitions spilled, nothing resident.
+        assert join.spilled_partitions["left"] == {0, 1}
+        assert join.spilled_partitions["right"] == {2}
+        assert join._in_memory == {"left": 0, "right": 0}
+        assert join.spilled_rows == 9
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            make_join(budget=0)
+        with pytest.raises(ValueError):
+            SymmetricHashJoin(column="k", num_partitions=0)
+        with pytest.raises(ValueError):
+            make_join(budget=4, policy="some")
+        with pytest.raises(ValueError):
+            make_join(budget=4).set_memory_budget(0)
+
+    def test_mode_mixing_raises(self):
+        join = make_join(budget=4)
+        join.insert_left({"k": 1})
+        with pytest.raises(TypeError):
+            join.insert_left_key(1)
+
+
+class TestSpilledIndexGatesReads:
+    def test_never_spilled_probes_cost_zero_sink_reads(self):
+        """Regression: before the partitioned rework, the first spill
+        made *every* subsequent probe call into the sink."""
+        join = make_join(budget=8)
+        for row in rows_for(keys_in_partition(0, 4, 6), "l"):
+            join.insert_left(row)
+        resident = keys_in_partition(1, 4, 3)
+        for row in rows_for(resident, "l"):
+            join.insert_left(row)
+        assert join.spilled_rows > 0
+        # Probe only keys of the resident partition: matches come out of
+        # memory, the sink is never consulted.
+        for key in resident:
+            assert len(join.insert_right({"k": key, "tag": "probe"})) == 1
+        assert join.spill_reads == 0
+
+    def test_spilled_partition_probe_reads_sink(self):
+        join = make_join(budget=8)
+        spilled_keys = keys_in_partition(0, 4, 6)
+        for row in rows_for(spilled_keys, "l"):
+            join.insert_left(row)
+        for row in rows_for(keys_in_partition(1, 4, 3), "l"):
+            join.insert_left(row)
+        matches = join.insert_right({"k": spilled_keys[0], "tag": "probe"})
+        assert len(matches) == 1
+        assert join.spill_reads == 1
+
+
+class TestStaySpilled:
+    def test_later_rows_for_spilled_partition_route_to_sink(self):
+        join = make_join(budget=8)
+        keys = keys_in_partition(0, 4, 6)
+        for row in rows_for(keys, "l"):
+            join.insert_left(row)
+        for row in rows_for(keys_in_partition(1, 4, 3), "l"):
+            join.insert_left(row)
+        assert join.spilled_partitions["left"] == {0}
+        resident_before = join._in_memory["left"]
+        spilled_before = join.spilled_rows
+        late = keys_in_partition(0, 4, 1, start=10_000)[0]
+        join.insert_left({"k": late, "tag": "late"})
+        # The spilled partition stayed spilled: the late row went
+        # straight to the sink instead of refilling memory.
+        assert join._in_memory["left"] == resident_before
+        assert join.spilled_rows == spilled_before + 1
+        # ...and it is still joinable.
+        assert len(join.insert_right({"k": late, "tag": "probe"})) == 1
+
+    def test_all_policy_refills_and_reflushes(self):
+        """The legacy policy's cliff: rows keep landing in memory and
+        get flushed wholesale again and again."""
+        join = make_join(budget=4, policy="all")
+        for row in rows_for(keys_in_partition(0, 4, 16), "l"):
+            join.insert_left(row)
+        # Every overflow re-flushed the refilling partition: repeated
+        # eviction events where a stay-spilled policy pays exactly one.
+        assert join.partition_evictions >= 3
+        stay = make_join(budget=4)
+        for row in rows_for(keys_in_partition(0, 4, 16), "l"):
+            stay.insert_left(row)
+        assert stay.partition_evictions == 1
+
+
+class TestRoleReversal:
+    def test_victim_side_flip_is_counted(self):
+        join = make_join(budget=6)
+        for row in rows_for(keys_in_partition(0, 4, 5), "l"):
+            join.insert_left(row)
+        for row in rows_for(keys_in_partition(1, 4, 3, start=1000), "r"):
+            join.insert_right(row)
+        assert join.role_reversals == 0
+        # The right side now outgrows the left mid-stream: the next
+        # eviction flips the victim side.
+        for row in rows_for(keys_in_partition(2, 4, 9, start=2000), "r"):
+            join.insert_right(row)
+        assert join.role_reversals >= 1
+        assert join.spilled_partitions["right"]
+
+
+class TestRestore:
+    def test_loosening_budget_restores_partitions(self):
+        join = make_join(budget=8)
+        keys = keys_in_partition(0, 4, 6)
+        for row in rows_for(keys, "l"):
+            join.insert_left(row)
+        for row in rows_for(keys_in_partition(1, 4, 3), "l"):
+            join.insert_left(row)
+        assert join.spilled_partitions["left"] == {0}
+        join.set_memory_budget(64)
+        assert join.partition_restores == 1
+        assert join.spilled_partitions["left"] == set()
+        assert join.spill_sink.partition_rows("left", 0) == 0
+        # Restored rows match from memory again, without sink reads.
+        assert len(join.insert_right({"k": keys[0], "tag": "p"})) == 1
+        assert join.spill_reads == 0
+
+    def test_lifting_budget_restores_everything(self):
+        join = make_join(budget=4)
+        for row in rows_for(keys_in_partition(0, 4, 4), "l"):
+            join.insert_left(row)
+        for row in rows_for(keys_in_partition(1, 4, 4, start=500), "r"):
+            join.insert_right(row)
+        assert join.spilled_rows > 0
+        join.set_memory_budget(None)
+        assert join.spilled_partitions == {"left": set(), "right": set()}
+        assert not join.spill_sink.has_spilled("left")
+        assert not join.spill_sink.has_spilled("right")
+        assert join.memory_budget is None
+
+    def test_restore_hysteresis_never_triggers_eviction(self):
+        """A restore fits in half the slack, so restoring can never push
+        the join back over budget (no evict/restore ping-pong)."""
+        join = make_join(budget=8)
+        for row in rows_for(keys_in_partition(0, 4, 6), "l"):
+            join.insert_left(row)
+        for row in rows_for(keys_in_partition(1, 4, 3), "l"):
+            join.insert_left(row)
+        evictions = join.partition_evictions
+        join.set_memory_budget(9)  # slack 6: the 6-row partition stays out
+        assert join.partition_restores == 0
+        join.set_memory_budget(15)  # slack 12: now it fits in half
+        assert join.partition_restores == 1
+        assert join.partition_evictions == evictions
+
+    def test_tightening_budget_on_unbudgeted_join_spills(self):
+        join = SymmetricHashJoin(column="k")
+        assert join.spill_sink is None
+        for row in rows_for(keys_in_partition(0, NUM_SPILL_PARTITIONS, 6), "l"):
+            join.insert_left(row)
+        join.set_memory_budget(4)
+        assert join.spill_sink is not None
+        assert join.spilled_rows > 0
+        assert join._in_memory["left"] <= 4
+
+
+class TestKeysModeCompactSpill:
+    def test_eviction_spills_one_entry_per_distinct_key(self):
+        """Regression: keys-mode spill used to materialise one
+        ``{column: key}`` dict per *multiplicity*."""
+        join = make_join(budget=8)
+        hot, cold = keys_in_partition(0, 4, 2)
+        for _ in range(7):
+            join.insert_left_key(hot)
+        join.insert_left_key(cold)
+        for key in keys_in_partition(1, 4, 1, start=100):
+            join.insert_left_key(key)
+        assert join.spilled_partitions["left"] == {0}
+        assert join.spilled_rows == 8  # accounting still counts rows
+        # The sink holds the compact (key, count) form: two entries.
+        counts = join.spill_sink.take_counts("left", 0)
+        assert counts == {hot: 7, cold: 1}
+
+    def test_spilled_counts_still_match(self):
+        join = make_join(budget=8)
+        hot = keys_in_partition(0, 4, 1)[0]
+        for _ in range(7):
+            join.insert_left_key(hot)
+        for key in keys_in_partition(1, 4, 2, start=100):
+            join.insert_left_key(key)
+        assert join.spilled_partitions["left"] == {0}
+        assert join.insert_right_key(hot) == 7
+        assert join.spill_reads == 1
+
+    def test_keys_mode_budgeted_matches_unbudgeted(self):
+        keys = [k % 5 for k in range(40)]
+        free = SymmetricHashJoin(column="k")
+        tight = make_join(budget=3)
+        for key in keys:
+            assert tight.insert_left_key(key) == free.insert_left_key(key)
+            assert tight.insert_right_key(key + 1) == free.insert_right_key(key + 1)
+        assert tight.spilled_rows > 0
+
+
+class TestIteratorEquivalence:
+    def test_partitioned_budgeted_matches_unbudgeted(self):
+        left = rows_for([i % 7 for i in range(30)], "l")
+        right = rows_for([i % 5 for i in range(30)], "r")
+        signature = lambda rs: sorted(sorted(r.items()) for r in rs)
+        reference = SymmetricHashJoin(Scan(left), Scan(right), "k").rows()
+        for policy in ("partitioned", "all"):
+            for budget in (1, 2, 5, 17):
+                join = SymmetricHashJoin(
+                    Scan(left),
+                    Scan(right),
+                    "k",
+                    memory_budget=budget,
+                    spill_sink=SpillSink("k"),
+                    num_partitions=4,
+                    spill_policy=policy,
+                )
+                assert signature(join.rows()) == signature(reference), (
+                    f"{policy}/{budget}"
+                )
+                assert join.spilled_rows > 0

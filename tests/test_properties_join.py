@@ -1,0 +1,205 @@
+"""Property suite: a memory budget must never change a join's answers.
+
+Pins the core guarantee of the partitioned hybrid hash join — spill,
+stay-spilled routing, restore and role reversal are pure
+memory-for-re-reads trades — across rows/keys modes, spill policies,
+partition fan-outs, arbitrary arrival interleavings, mid-stream
+re-budgeting, and both runtimes (atomic vs pipelined), plus the
+accounting invariants that tie ``QueryStats`` spill bytes to row
+counts.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.network import DhtNetwork
+from repro.pier.catalog import Catalog
+from repro.pier.dataflow import DataflowConfig, DataflowExecutor
+from repro.pier.executor import DistributedExecutor
+from repro.pier.operators import SpillSink, SymmetricHashJoin
+from repro.pier.planner import KeywordPlanner
+from repro.piersearch.publisher import Publisher
+
+WORDS = ["nebula", "quasar", "aurora", "meteor"]
+
+#: (side, key) arrival interleavings over a small, collision-rich key
+#: space — small keys maximise duplicate multiplicities and partition
+#: collisions, which is where spill bookkeeping can go wrong
+interleavings = st.lists(
+    st.tuples(st.sampled_from(["left", "right"]), st.integers(0, 9)),
+    min_size=1,
+    max_size=60,
+)
+
+budgets = st.integers(min_value=1, max_value=12)
+fan_outs = st.sampled_from([1, 2, 4, 8])
+policies = st.sampled_from(["partitioned", "all"])
+
+#: mid-stream budget changes: (apply at insert index, new budget where
+#: None lifts the budget entirely)
+rebudgets = st.lists(
+    st.tuples(st.integers(0, 59), st.one_of(st.none(), st.integers(1, 12))),
+    max_size=3,
+)
+
+ROW_BYTES = 512
+
+
+def row_signature(rows):
+    return sorted(sorted(r.items()) for r in rows)
+
+
+def make_budgeted(budget, fan_out, policy):
+    return SymmetricHashJoin(
+        column="k",
+        memory_budget=budget,
+        spill_sink=SpillSink("k", row_bytes=ROW_BYTES),
+        num_partitions=fan_out,
+        spill_policy=policy,
+    )
+
+
+def assert_accounting_invariants(join):
+    """Spill accounting is internally consistent in bytes and rows."""
+    sink = join.spill_sink
+    assert join.spilled_rows == sink.spilled_rows
+    assert join.spilled_bytes == sink.spilled_rows * ROW_BYTES
+    # ``reread_bytes`` charges per row *returned* (read amplification),
+    # so it is a whole number of rows and implies at least one read.
+    assert join.reread_bytes == sink.reread_bytes
+    assert join.reread_bytes % ROW_BYTES == 0
+    if join.reread_bytes:
+        assert sink.reads > 0
+    assert join.restored_rows == sink.restored_rows
+    assert sink.orphan_rows == 0  # no churn at the operator level
+
+
+class TestOperatorEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(moves=interleavings, budget=budgets, fan_out=fan_outs, policy=policies)
+    def test_rows_mode_budgeted_matches_unbudgeted(
+        self, moves, budget, fan_out, policy
+    ):
+        free = SymmetricHashJoin(column="k")
+        tight = make_budgeted(budget, fan_out, policy)
+        for index, (side, key) in enumerate(moves):
+            row = {"k": key, "tag": index}
+            insert_free = free.insert_left if side == "left" else free.insert_right
+            insert_tight = tight.insert_left if side == "left" else tight.insert_right
+            # Every insert completes the *same* matches, spilled or not.
+            assert row_signature(insert_tight(row)) == row_signature(
+                insert_free(row)
+            )
+        assert_accounting_invariants(tight)
+
+    @settings(max_examples=60, deadline=None)
+    @given(moves=interleavings, budget=budgets, fan_out=fan_outs, policy=policies)
+    def test_keys_mode_budgeted_matches_unbudgeted(
+        self, moves, budget, fan_out, policy
+    ):
+        free = SymmetricHashJoin(column="k")
+        tight = make_budgeted(budget, fan_out, policy)
+        for side, key in moves:
+            if side == "left":
+                assert tight.insert_left_key(key) == free.insert_left_key(key)
+            else:
+                assert tight.insert_right_key(key) == free.insert_right_key(key)
+        assert_accounting_invariants(tight)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        moves=interleavings,
+        budget=budgets,
+        fan_out=fan_outs,
+        changes=rebudgets,
+    )
+    def test_rebudgeting_midstream_preserves_answers(
+        self, moves, budget, fan_out, changes
+    ):
+        """Tightening, loosening or lifting the budget between arbitrary
+        inserts (forcing evict/restore interleavings) never changes a
+        single match."""
+        schedule = {}
+        for index, new_budget in changes:
+            schedule[index] = new_budget
+        free = SymmetricHashJoin(column="k")
+        tight = make_budgeted(budget, fan_out, "partitioned")
+        for index, (side, key) in enumerate(moves):
+            change = schedule.get(index, "hold")
+            if change != "hold":
+                tight.set_memory_budget(change)
+            row = {"k": key, "tag": index}
+            insert_free = free.insert_left if side == "left" else free.insert_right
+            insert_tight = tight.insert_left if side == "left" else tight.insert_right
+            assert row_signature(insert_tight(row)) == row_signature(
+                insert_free(row)
+            )
+        # Lifting the budget at the end restores everything: no spilled
+        # partitions survive, and the tables answer from memory alone.
+        tight.set_memory_budget(None)
+        assert tight.spilled_partitions == {"left": set(), "right": set()}
+        probe = {"k": moves[0][1], "tag": "probe"}
+        assert row_signature(tight.insert_right(probe)) == row_signature(
+            free.insert_right(probe)
+        )
+
+
+def build_world(seed, num_files=30, nodes=20):
+    network = DhtNetwork(rng=seed)
+    network.populate(nodes)
+    catalog = Catalog(network)
+    publisher = Publisher(network, catalog)
+    rng = random.Random(seed + 1)
+    for index in range(num_files):
+        name = f"{rng.choice(WORDS)} {rng.choice(WORDS)} track{index:03d}.mp3"
+        publisher.publish_file(name, 1000 + index, f"10.0.0.{index}", 6346)
+    return network, catalog
+
+
+class TestRuntimeEquivalence:
+    """Budgeted pipelined execution matches the unbudgeted atomic
+    runtime answer-for-answer — and, batch-for-batch, spilling charges
+    no wire bytes (spill copies are site-local storage accounting)."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        budget=st.sampled_from([1, 2, 3, 5, 8]),
+    )
+    def test_budgeted_pipelined_matches_atomic_with_byte_invariant(
+        self, seed, budget
+    ):
+        network, catalog = build_world(seed)
+        plan = KeywordPlanner(catalog).plan(
+            ["nebula", "quasar"], network.random_node_id()
+        )
+        plan.batch_size = None
+        atomic = DistributedExecutor(network, catalog)
+        rows_atomic, stats_atomic = atomic.execute(plan)
+        budgeted = DataflowExecutor(
+            network,
+            catalog,
+            config=DataflowConfig(batch_size=None, memory_budget=budget),
+            rng=seed,
+        )
+        rows_flow, stats_flow = budgeted.execute(plan)
+        key = lambda rs: sorted(sorted(r.items()) for r in rs)
+        assert key(rows_flow) == key(rows_atomic)
+        # QueryStats byte invariant: with whole-list batches the
+        # pipelined run ships exactly the atomic runtime's bytes — a
+        # memory budget adds spill/re-read *accounting*, never wire
+        # bytes.
+        assert stats_flow.bytes == stats_atomic.bytes
+        if stats_flow.pipeline.spilled_tuples:
+            spill = stats_flow.spill
+            assert spill is not None
+            row_bytes = budgeted.cost_model.spill_tuple_bytes()
+            assert spill.spilled_bytes == spill.spilled_tuples * row_bytes
+            # Re-read bytes charge per row *returned* (read
+            # amplification), not per read call, so they are a whole
+            # number of rows and imply at least one sink read.
+            assert spill.reread_bytes % row_bytes == 0
+            if spill.reread_bytes:
+                assert spill.spill_reads > 0
