@@ -1,0 +1,123 @@
+"""Hostile-run matrix regression suite: SLO gates + bit-for-bit replay.
+
+``BENCH_scenario.json`` (repository root) records the adversarial
+scenario matrix — correlated regional failure, partition + heal, flash
+crowd, free riders, query of death, plus the graceful-churn baseline —
+next to each scenario's SLO bounds. This suite gates CI on the artifact
+(every shipped hostile run passed every gate, silent loss is zero
+everywhere) and then re-runs the matrix live, asserting the schedule
+digests and every recorded SLO metric reproduce bit-for-bit: scenarios
+are seeded virtual-time runs, so any drift is a real behaviour change.
+
+Everything here is slow-marked via the benchmarks conftest.
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments.ext_scenario import COLUMNS, run, slo_bounds
+from repro.scenario.presets import HOSTILE_MATRIX, SCENARIOS
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_scenario.json"
+
+#: the five hostile kinds the matrix must cover (plus the baseline)
+REQUIRED_SCENARIOS = {
+    "regional-failure",
+    "partition-heal",
+    "flash-crowd",
+    "free-riders",
+    "query-of-death",
+}
+
+#: metrics compared bit-for-bit between the artifact and a live re-run
+EXACT_METRICS = (
+    "schedule_digest",
+    "queries",
+    "recall",
+    "coverage",
+    "latency_p50",
+    "latency_p95",
+    "query_kb_mean",
+    "silent_loss",
+    "degraded_fraction",
+    "cache_hit_rate",
+    "abandoned",
+    "route_retries",
+    "passed",
+)
+
+
+def _artifact():
+    assert BENCH_PATH.exists(), (
+        "BENCH_scenario.json missing - run "
+        "`python -m repro.experiments.ext_scenario` and commit the artifact"
+    )
+    return json.loads(BENCH_PATH.read_text())
+
+
+def _rows_by_name(payload):
+    index = {column: i for i, column in enumerate(payload["columns"])}
+    return {row[index["scenario"]]: row for row in payload["rows"]}, index
+
+
+def test_artifact_covers_hostile_matrix():
+    """>= 5 distinct hostile scenarios, including every required kind."""
+    payload = _artifact()
+    rows, _ = _rows_by_name(payload)
+    assert REQUIRED_SCENARIOS <= set(rows), (
+        f"matrix missing {REQUIRED_SCENARIOS - set(rows)}"
+    )
+    assert len(rows) >= 5
+
+
+def test_artifact_slo_gates_hold():
+    """Every recorded hostile run passed every one of its SLO gates."""
+    payload = _artifact()
+    rows, index = _rows_by_name(payload)
+    bounds = payload["bounds"]
+    for name, row in rows.items():
+        assert row[index["passed"]] is True, f"{name} failed its SLO gates"
+        slo = bounds[name]
+        assert row[index["recall"]] >= slo["min_recall"], name
+        assert row[index["latency_p95"]] <= slo["max_p95_latency"], name
+        assert row[index["query_kb_mean"]] <= slo["max_query_kb"], name
+        assert row[index["silent_loss"]] <= slo["max_silent_loss"], name
+        assert (
+            row[index["degraded_fraction"]] <= slo["max_degraded_fraction"]
+        ), name
+        assert row[index["cache_hit_rate"]] >= slo["min_cache_hit_rate"], name
+
+
+def test_artifact_silent_loss_zero_everywhere():
+    """The hardening guarantee: loss is never silent, in any scenario."""
+    payload = _artifact()
+    rows, index = _rows_by_name(payload)
+    for name, row in rows.items():
+        assert row[index["silent_loss"]] == 0, (
+            f"{name}: {row[index['silent_loss']]} silent losses recorded"
+        )
+
+
+def test_artifact_bounds_match_presets():
+    """The committed bounds are the presets' bounds (no drift)."""
+    payload = _artifact()
+    assert payload["bounds"] == slo_bounds(HOSTILE_MATRIX)
+
+
+def test_live_matrix_reproduces_artifact_bit_for_bit():
+    """Identical seeds reproduce identical schedules and SLO metrics."""
+    payload = _artifact()
+    recorded, _ = _rows_by_name(payload)
+    assert payload["columns"] == COLUMNS
+    live = run()
+    assert len(live.rows) == len(recorded)
+    index = {column: i for i, column in enumerate(COLUMNS)}
+    for row in live.rows:
+        name = row[index["scenario"]]
+        assert name in recorded, f"live run produced unrecorded {name}"
+        assert SCENARIOS[name].seed == row[index["seed"]]
+        for metric in EXACT_METRICS:
+            assert row[index[metric]] == recorded[name][index[metric]], (
+                f"{name}.{metric}: live {row[index[metric]]!r} != "
+                f"recorded {recorded[name][index[metric]]!r}"
+            )

@@ -10,7 +10,29 @@ class ReproError(Exception):
 
 
 class DhtError(ReproError):
-    """Base class for DHT failures."""
+    """Base class for DHT failures.
+
+    Lookup-path failures carry structured context so a scenario run's
+    exception is diagnosable on its own: ``key`` is the ring key being
+    routed, ``path`` the node ids visited before the failure (the partial
+    route), and ``hops`` the overlay hops taken. All three default to
+    ``None`` for failures that have no route (empty network, bad node id).
+    """
+
+    def __init__(
+        self,
+        message: object = "",
+        *,
+        key: int | None = None,
+        path: list[int] | None = None,
+        hops: int | None = None,
+    ):
+        super().__init__(message)
+        self.key = key
+        self.path = list(path) if path is not None else None
+        if hops is None and self.path is not None:
+            hops = max(0, len(self.path) - 1)
+        self.hops = hops
 
 
 class KeyNotFoundError(DhtError):
@@ -41,3 +63,7 @@ class PlanError(ReproError):
 
 class WorkloadError(ReproError):
     """Workload or trace generation was asked for something impossible."""
+
+
+class ScenarioError(ReproError):
+    """An adversarial scenario specification is invalid or inconsistent."""

@@ -10,8 +10,10 @@ experiments) or scheduled on a simulator clock.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass
 
+from repro.common.ids import KEY_SPACE
 from repro.common.rng import make_rng
 from repro.dht.network import DhtNetwork
 from repro.sim.engine import Simulator
@@ -67,6 +69,57 @@ class ChurnProcess:
             self.stats.joins += 1
         if stabilize:
             self.network.stabilize()
+
+    def regional_leave(
+        self,
+        count: int,
+        start_key: int | None = None,
+        failure_fraction: float | None = None,
+        stabilize: bool = True,
+    ) -> list[tuple[int, bool]]:
+        """Correlated regional failure: a contiguous ring arc departs at once.
+
+        ``count`` ring-adjacent nodes (starting at the first node at or
+        after ``start_key``, or at a seeded random position) leave in the
+        same step; ``failure_fraction`` of them fail abruptly (defaults to
+        this process's fraction), the rest leave gracefully. At least one
+        node always survives. Returns ``(node_id, graceful)`` per victim,
+        in ring order.
+
+        Victims are removed in *reverse* ring order, so every graceful
+        leave hands its keys directly to the arc's surviving successor —
+        each handed-off key is released exactly once. Removing in forward
+        ring order would instead cascade keys victim-to-victim (each key
+        re-handed and re-charged at every subsequent removal), and a
+        single abrupt failure late in the arc would silently swallow every
+        graceful neighbour's keys handed to it earlier in the same step.
+        """
+        if count <= 0:
+            return []
+        ring = sorted(self.network.nodes)
+        count = min(count, len(ring) - 1)
+        if count <= 0:
+            return []
+        if start_key is None:
+            start = self.rng.randrange(len(ring))
+        else:
+            start = bisect_left(ring, start_key % KEY_SPACE) % len(ring)
+        fraction = (
+            self.failure_fraction if failure_fraction is None else failure_fraction
+        )
+        victims = [
+            (ring[(start + i) % len(ring)], self.rng.random() >= fraction)
+            for i in range(count)
+        ]
+        for victim, graceful in reversed(victims):
+            self.network.remove_node(victim, graceful=graceful)
+            if graceful:
+                self.stats.leaves += 1
+            else:
+                self.stats.failures += 1
+        if stabilize:
+            self.network.stabilize()
+        return victims
 
     def run_session_churn(self, turnover_fraction: float) -> None:
         """Replace ``turnover_fraction`` of the network (size preserved)."""

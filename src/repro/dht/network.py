@@ -130,6 +130,14 @@ class DhtNetwork:
         self.removal_listener: Callable[[int], None] | None = None
         self._replica_sets: dict[int, list[int]] = {}
         self._replica_cursor: dict[int, int] = {}
+        # --- suspect ranges (graceful degradation) ---------------------
+        #: key intervals ``(predecessor, failed_node]`` whose owner died
+        #: abruptly — its slice changed hands with *no* handoff, so an
+        #: empty read there may be data loss rather than absence. Readers
+        #: consult :meth:`is_suspect` to flag such answers as degraded
+        #: instead of reporting loss silently; re-publishing or a healed
+        #: rejoin repairs the range (:meth:`clear_suspects_covering`).
+        self._suspect_ranges: list[tuple[int, int]] = []
 
     # ------------------------------------------------------------------
     # Membership
@@ -231,6 +239,12 @@ class DhtNetwork:
         node = self.nodes.pop(node_id, None)
         if node is None:
             raise NodeNotFoundError(f"unknown node {node_id:x}")
+        if not graceful and len(self._ring) > 1:
+            # The dead node's slice ``(predecessor, node_id]`` moved to
+            # its successor with no handoff: mark it suspect so empty
+            # reads there surface as degraded, not as honest absence.
+            index = self._ring.index_of(node_id)
+            self._suspect_ranges.append((self._ring[index - 1], node_id))
         self._ring.discard(node_id)
         self._stale = True
         self.membership_version += 1
@@ -292,6 +306,53 @@ class DhtNetwork:
         if not self._ring:
             raise DhtError("empty network")
         return self.rng.choice(self._ring)
+
+    # ------------------------------------------------------------------
+    # Suspect ranges
+    # ------------------------------------------------------------------
+
+    @property
+    def suspect_ranges(self) -> list[tuple[int, int]]:
+        """Current suspect intervals ``(predecessor, failed_node]`` (copy)."""
+        return list(self._suspect_ranges)
+
+    def is_suspect(self, key: int) -> bool:
+        """Whether ``key`` lies in a range lost to an abrupt failure.
+
+        True means an empty read under ``key`` is *untrustworthy*: the
+        range's owner died without handing its slice off, so the data may
+        have existed and been lost. Callers should report such answers as
+        degraded/partial rather than as a clean zero-result.
+        """
+        key %= KEY_SPACE
+        return any(
+            in_interval(key, start, end, inclusive_end=True)
+            for start, end in self._suspect_ranges
+        )
+
+    def clear_suspects_covering(self, key: int) -> int:
+        """Repair: drop every suspect interval containing ``key``.
+
+        Called when the range is made whole again — the failed node
+        rejoined with its data restored, or an anti-entropy pass
+        re-published the slice. Returns how many intervals were cleared.
+        A rejoining node's own id always lies in its old interval, so
+        ``clear_suspects_covering(node_id)`` repairs exactly its slice.
+        """
+        key %= KEY_SPACE
+        before = len(self._suspect_ranges)
+        self._suspect_ranges = [
+            (start, end)
+            for start, end in self._suspect_ranges
+            if not in_interval(key, start, end, inclusive_end=True)
+        ]
+        return before - len(self._suspect_ranges)
+
+    def clear_all_suspects(self) -> int:
+        """Drop every suspect interval; returns how many there were."""
+        count = len(self._suspect_ranges)
+        self._suspect_ranges = []
+        return count
 
     # ------------------------------------------------------------------
     # Routing
@@ -403,12 +464,19 @@ class DhtNetwork:
                 next_hop = node.first_successor()
             if next_hop is None:
                 raise DhtError(
-                    f"routing dead-end at node {current:x} for key {key:x}: "
-                    "no finger or successor to forward to"
+                    f"routing dead-end at node {current:x} for key {key:x} "
+                    f"after {len(path) - 1} hops: no finger or successor to "
+                    "forward to",
+                    key=key,
+                    path=path,
                 )
             current = next_hop
             path.append(current)
-        raise DhtError(f"routing for key {key:x} did not converge in {max_hops} hops")
+        raise DhtError(
+            f"routing for key {key:x} did not converge in {max_hops} hops",
+            key=key,
+            path=path,
+        )
 
     def iter_lookup(self, key: int, origin: int | None = None):
         """Hop-by-hop lookup generator: the event-driven variant of
@@ -459,8 +527,11 @@ class DhtNetwork:
                 next_hop = node.first_successor()
             if next_hop is None:
                 raise DhtError(
-                    f"routing dead-end at node {current:x} for key {key:x}: "
-                    "no finger or successor to forward to"
+                    f"routing dead-end at node {current:x} for key {key:x} "
+                    f"after {len(path) - 1} hops: no finger or successor to "
+                    "forward to",
+                    key=key,
+                    path=path,
                 )
             if next_hop not in self.nodes:
                 # Stale routing entry naming a departed node: fall back to
@@ -471,12 +542,19 @@ class DhtNetwork:
                 if next_hop is None:
                     raise DhtError(
                         f"node {current:x} has no live successor to route "
-                        f"around departures for key {key:x}"
+                        f"around departures for key {key:x} after "
+                        f"{len(path) - 1} hops",
+                        key=key,
+                        path=path,
                     )
             current = next_hop
             path.append(current)
             yield current
-        raise DhtError(f"routing for key {key:x} did not converge in {max_hops} hops")
+        raise DhtError(
+            f"routing for key {key:x} did not converge in {max_hops} hops",
+            key=key,
+            path=path,
+        )
 
     def _last_live(self, path: list[int], key: int) -> int:
         """Most recent node on ``path`` that is still a member."""
@@ -484,7 +562,10 @@ class DhtNetwork:
             if node_id in self.nodes:
                 return node_id
         raise DhtError(
-            f"every node on the lookup path for key {key:x} has departed"
+            f"every node on the {len(path) - 1}-hop lookup path for key "
+            f"{key:x} has departed",
+            key=key,
+            path=path,
         )
 
     def _first_live_successor(self, node: DhtNode, exclude: set[int]) -> int | None:

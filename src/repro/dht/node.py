@@ -47,8 +47,14 @@ class DhtNode:
         #: shared slot holding the network's latest stabilize snapshot
         #: (None for standalone nodes driven via :meth:`update_routing`)
         self._ring_cell = ring_cell
-        #: snapshot version the current tables were derived from
+        #: snapshot version the current tables were derived from — pinned
+        #: at join to the version already published, so a node never
+        #: derives tables from a snapshot older than its own membership
+        #: (an id that departed and rejoined between stabilizes would
+        #: otherwise read its stale pre-departure tables back out of it)
         self._routed_version: int | None = None
+        if ring_cell is not None and ring_cell.snapshot is not None:
+            self._routed_version = ring_cell.snapshot.version
 
     # -- storage (lazy) ------------------------------------------------
 

@@ -24,6 +24,7 @@ from repro.experiments import (
     ext_obs,
     ext_optimizer,
     ext_runtime,
+    ext_scenario,
     ext_shard,
     fig04_replication,
     fig05_result_cdf,
@@ -68,6 +69,7 @@ EXPERIMENTS = {
     "ext-obs": ext_obs.run,
     "ext-optimizer": ext_optimizer.run,
     "ext-runtime": ext_runtime.run,
+    "ext-scenario": ext_scenario.run,
     "ext-shard": ext_shard.run,
 }
 

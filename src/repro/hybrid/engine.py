@@ -50,6 +50,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.common.errors import DhtError, PlanError
+from repro.common.ids import hash_key
 from repro.common.rng import make_rng
 from repro.dht.network import DhtNetwork
 from repro.gnutella.latency import GnutellaLatencyModel
@@ -57,6 +58,7 @@ from repro.hybrid.ultrapeer import HybridQueryOutcome, HybridUltrapeer
 from repro.obs.metrics import MetricsRegistry
 from repro.pier.dataflow import DataflowConfig, DataflowExecutor, DataflowQuery
 from repro.pier.query import DistributedPlan
+from repro.piersearch.tokenizer import extract_keywords
 from repro.piersearch.search import SearchEngine
 from repro.sim.engine import Simulator
 
@@ -79,6 +81,12 @@ class RaceConfig:
     max_requery_attempts: int = 3
     #: virtual time between a broken route and the next attempt
     retry_backoff: float = 2.0
+    #: hard wall on the whole re-query phase (walks + retries + pipeline),
+    #: measured from the moment the re-query starts: when it expires the
+    #: race finishes with a ``degraded`` outcome instead of riding a
+    #: partition-stretched walk indefinitely. None = no deadline (the
+    #: pre-hardening behaviour).
+    requery_deadline: float | None = None
     #: how the re-query plan executes once the chain is routed:
     #: "pipelined" streams tuple batches through the exchange dataflow on
     #: the engine's simulator (a DHT answer can win mid-join);
@@ -111,6 +119,19 @@ class QueryRace:
     route_retries: int = 0
     #: the DHT side gave up: routes stayed broken through every retry
     pier_failed: bool = False
+    #: ring membership epoch when the race was submitted — compared at
+    #: resolution to tell an honestly-empty answer from one that may have
+    #: lost data to mid-race churn
+    membership_epoch: int = 0
+    #: DHT keys of this query's posting lists (table-qualified, the keys
+    #: the walk actually reads) — checked against suspect ranges when a
+    #: zero-result answer resolves
+    posting_keys: tuple[int, ...] = ()
+    #: posting-join matches the executed plan produced (entries surviving
+    #: the last posting stage). Matches with zero final results mean the
+    #: Item rows themselves are gone — loss the posting keys alone cannot
+    #: prove.
+    join_matches: int = 0
     done: bool = False
     finished_at: float | None = None
     #: invoked exactly once when the race resolves
@@ -239,10 +260,20 @@ class HybridQueryEngine:
             gnutella_results=sum(reachable.values()),
             gnutella_latency=math.inf,
         )
+        engine = hybrid.search_engine
+        posting_table = (
+            "InvertedCache" if engine.inverted_cache else engine.planner.posting_table
+        )
         race = QueryRace(
             outcome=outcome,
             submitted_at=self.sim.now,
             stop_ttl=stop_ttl,
+            membership_epoch=self.dht.membership_version,
+            posting_keys=tuple(
+                hash_key(f"{posting_table}|{keyword}")
+                for term in terms
+                for keyword in extract_keywords(term)
+            ),
             on_done=on_done,
         )
         if self.tracer is not None:
@@ -309,7 +340,36 @@ class HybridQueryEngine:
                 hybrid.cache_latency, lambda: self._complete_pier(race)
             )
             return
+        if self.config.requery_deadline is not None:
+            self.sim.schedule(
+                self.config.requery_deadline, lambda: self._on_deadline(race)
+            )
         self._start_requery(race, hybrid)
+
+    def _on_deadline(self, race: QueryRace) -> None:
+        """The re-query outlived its deadline: degrade instead of waiting.
+
+        Under a partition the stretched hop delays (and retry backoffs) can
+        push a walk arbitrarily far into virtual time; the deadline converts
+        that into a prompt, explicitly-flagged partial answer. Whatever
+        results already landed stay on the outcome — late pipeline batches
+        may still top it up, matching the race's late-answers-count policy.
+        """
+        if race.done:
+            return
+        race.pier_failed = True
+        self._mark_degraded(race, "deadline")
+        self.metrics.counter("hybrid.requery_deadline_exceeded").add(1)
+        self._finish(race)
+
+    def _mark_degraded(self, race: QueryRace, reason: str) -> None:
+        if race.outcome.degraded:
+            return
+        race.outcome.degraded = True
+        race.outcome.degraded_reason = reason
+        self.metrics.counter("hybrid.degraded", labels={"reason": reason}).add(1)
+        if race.span is not None and race.span.recording:
+            race.span.event("race.degraded", reason=reason)
 
     def _start_requery(self, race: QueryRace, hybrid: HybridUltrapeer) -> None:
         if race.done:
@@ -428,7 +488,10 @@ class HybridQueryEngine:
             outcome = race.outcome
             outcome.pier_results = len(result)
             outcome.pier_bytes = result.stats.bytes
-            walk.hybrid.cache_store(list(outcome.terms), result)
+            race.join_matches = result.stats.join_matches
+            self._flag_untrusted_zero(race)
+            if not outcome.degraded:
+                walk.hybrid.cache_store(list(outcome.terms), result)
             if walk.span is not None:
                 walk.span.finish(
                     hops=walk.hops, results=len(result), bytes=result.stats.bytes
@@ -469,14 +532,19 @@ class HybridQueryEngine:
             )
         outcome.pier_results = len(result)
         outcome.pier_bytes = query.stats.bytes
+        race.join_matches = query.stats.join_matches
         outcome.pier_completion_latency = self.sim.now - race.submitted_at
         if outcome.pier_latency == 0.0:
             # No answer batch ever fired (empty result set): completion is
             # the only PIER timestamp this race gets.
             outcome.pier_latency = outcome.pier_completion_latency
-        if not query.pipeline.early_terminated:
-            # A stop_after run is a deliberately truncated answer set:
-            # never let it poison the shared result cache.
+        # Runs even when the race already resolved on its first answer
+        # batch: the final result count was not known until now.
+        self._flag_untrusted_zero(race)
+        if not query.pipeline.early_terminated and not outcome.degraded:
+            # A stop_after run is a deliberately truncated answer set and
+            # a degraded answer may have lost data to churn: never let
+            # either poison the shared result cache.
             walk.hybrid.cache_store(list(outcome.terms), result)
         self._finish(race)
 
@@ -499,6 +567,7 @@ class HybridQueryEngine:
                 outcome.pier_results = len(result)
                 outcome.pier_bytes = query.stats.bytes
                 outcome.pier_completion_latency = self.sim.now - race.submitted_at
+            self._mark_degraded(race, "partial-answer")
             return
         self.metrics.counter("hybrid.dht_dead_ends").add(1)
         self._retry(race, walk.hybrid)
@@ -506,6 +575,7 @@ class HybridQueryEngine:
     def _retry(self, race: QueryRace, hybrid: HybridUltrapeer) -> None:
         if race.pier_attempts >= self.config.max_requery_attempts:
             race.pier_failed = True
+            self._mark_degraded(race, "requery-abandoned")
             self.metrics.counter("hybrid.pier_abandoned").add(1)
             self._finish(race)
             return
@@ -518,7 +588,45 @@ class HybridQueryEngine:
         race.outcome.pier_latency = self.sim.now - race.submitted_at
         if race.outcome.pier_completion_latency == 0.0:
             race.outcome.pier_completion_latency = race.outcome.pier_latency
+        self._flag_untrusted_zero(race)
         self._finish(race)
+
+    def _flag_untrusted_zero(self, race: QueryRace) -> None:
+        """Degrade a zero-result answer that cannot be trusted as empty.
+
+        Runs where the *final* PIER result count is known (the atomic
+        completion and the pipelined drain — never at the first answer
+        batch, whose Item rows may still be in flight). An empty answer
+        is only honest when the walk was clean, the ring membership never
+        moved under it, none of its posting keys lies in a suspect range
+        (a slice whose owner died with no handoff), and the posting join
+        itself matched nothing. Otherwise a survivor may legitimately own
+        the key range with none of the departed owner's data — loss that
+        *looks* like absence. Flag it so recall accounting can tell the
+        two apart.
+        """
+        outcome = race.outcome
+        if (
+            not outcome.used_pier
+            or outcome.cache_hit
+            or outcome.pier_results > 0
+            or outcome.degraded
+        ):
+            return
+        suspect_posting = any(self.dht.is_suspect(key) for key in race.posting_keys)
+        # Join matches with zero final results mean the matched Item rows
+        # are gone from the ring — loss the posting keys cannot prove.
+        lost_items = race.join_matches > 0
+        if suspect_posting or (lost_items and self.dht.suspect_ranges):
+            self._mark_degraded(race, "suspect-range")
+        elif (
+            lost_items
+            or race.pier_failed
+            or race.route_retries > 0
+            or race.pier_attempts > 1
+            or self.dht.membership_version != race.membership_epoch
+        ):
+            self._mark_degraded(race, "membership-change")
 
     # ------------------------------------------------------------------
     # Resolution

@@ -60,6 +60,15 @@ class HybridQueryOutcome:
     cache_hit: bool = False
     #: wire bytes the cache hit avoided re-spending
     saved_bytes: int = 0
+    #: the answer is partial or uncertain (route abandoned, deadline hit,
+    #: pipeline broke after first batch, or a zero-result walk ran against
+    #: a ring whose membership changed mid-race). Degradation is always
+    #: flagged, never silent: a scenario's recall accounting can separate
+    #: "honestly empty" from "lost to the fault".
+    degraded: bool = False
+    #: why the answer is degraded ("" when it is not): "requery-abandoned",
+    #: "deadline", "partial-answer", "suspect-range", or "membership-change"
+    degraded_reason: str = ""
 
     @property
     def total_results(self) -> int:

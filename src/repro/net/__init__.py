@@ -11,6 +11,7 @@ from repro.net.messages import (
     NetMessage,
     RoutedMessage,
 )
+from repro.net.faults import FaultInjectingTransport
 from repro.net.transport import InProcessTransport, Transport, draw_hop_delay
 
 __all__ = [
@@ -19,6 +20,7 @@ __all__ = [
     "FloodMessage",
     "NetMessage",
     "RoutedMessage",
+    "FaultInjectingTransport",
     "InProcessTransport",
     "Transport",
     "draw_hop_delay",

@@ -1,0 +1,83 @@
+"""Fault injection at the transport boundary.
+
+A network partition (or regional congestion) is, to the survivors, a
+*link-level* phenomenon: messages still leave, they just take much longer
+— or never land. :class:`FaultInjectingTransport` wraps any
+:class:`~repro.net.transport.Transport` and lets a scenario driver
+(:mod:`repro.scenario.injectors`) degrade the link in virtual time:
+
+* ``set_delay_multiplier(m)`` stretches every per-hop latency draw by
+  ``m`` while active (``m >= 1``). Byte accounting is untouched — a slow
+  partition-era message costs the same wire bytes as a fast one — and
+  min-latency stays honest for the sharded kernel: the conservative
+  lookahead derives from :meth:`min_hop_delay`, which reports the
+  *unstretched* minimum, so stretched draws can only land later than the
+  lookahead promises, never earlier.
+* Draw replay stays bit-for-bit reproducible: the wrapper consumes the
+  inner transport's draw stream unchanged and scales the result, so runs
+  with the injector disabled see the identical RNG sequence.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.messages import Delivery, NetMessage
+from repro.net.transport import Transport
+
+
+class FaultInjectingTransport(Transport):
+    """Wraps a transport with scenario-driven latency degradation."""
+
+    def __init__(self, inner: Transport):
+        self.inner = inner
+        self._delay_multiplier = 1.0
+        #: hop-latency draws taken while a degradation window was active
+        self.degraded_draws = 0
+
+    # -- scenario-driver surface ---------------------------------------
+
+    @property
+    def delay_multiplier(self) -> float:
+        return self._delay_multiplier
+
+    def set_delay_multiplier(self, multiplier: float) -> None:
+        """Stretch subsequent hop-latency draws by ``multiplier`` (>= 1)."""
+        if multiplier < 1.0:
+            raise ValueError(
+                f"delay multiplier must be >= 1 (shrinking hop delays would "
+                f"break the sharded kernel's lookahead), got {multiplier}"
+            )
+        self._delay_multiplier = multiplier
+
+    def clear_faults(self) -> None:
+        """Restore the undisturbed link."""
+        self._delay_multiplier = 1.0
+
+    # -- Transport interface (byte path delegates untouched) -----------
+
+    def deliver(self, message: NetMessage) -> Delivery:
+        return self.inner.deliver(message)
+
+    def charge(self, category: str, messages: int, byte_count: int) -> None:
+        self.inner.charge(category, messages, byte_count)
+
+    def hop_delay(self, rng: random.Random, mean: float, jitter: float) -> float:
+        delay = self.inner.hop_delay(rng, mean, jitter)
+        if self._delay_multiplier != 1.0:
+            self.degraded_draws += 1
+            delay *= self._delay_multiplier
+        return delay
+
+    def min_hop_delay(self, mean: float, jitter: float) -> float:
+        return self.inner.min_hop_delay(mean, jitter)
+
+    # -- passthroughs some call sites read off the in-process backend --
+
+    @property
+    def meter(self):
+        return self.inner.meter
+
+    @property
+    def cost_model(self):
+        return self.inner.cost_model

@@ -1226,6 +1226,7 @@ class _QueryRun:
         self.query.done = True
         self.pipeline.completion_time = self.sim.now - self.submitted_at
         self.stats.results = len(self.query.rows)
+        self.stats.join_matches = self.answer_tuples
         self.stats.critical_path_hops = self.stats.chain_hops + 1
         if (
             self.bloom_return_edge is not None

@@ -508,6 +508,7 @@ class DistributedExecutor:
 
     def _charge_answer(self, stats: QueryStats, result_count: int) -> None:
         """Charge the direct answer message for ``result_count`` fileIDs."""
+        stats.join_matches += result_count
         answer_bytes = self.cost_model.message_bytes(
             result_count * self.cost_model.tuple_bytes(self.cost_model.fileid_bytes)
         )

@@ -209,6 +209,11 @@ class QueryStats:
     #: hops of the sequential plan-dissemination chain, a prefix of the
     #: critical path (the remainder is the answer/item-fetch tail)
     chain_hops: int = 0
+    #: fileIDs that survived the posting join (answer tuples before the
+    #: Item fetch). Non-zero with ``results == 0`` means the matched Item
+    #: rows themselves were missing — evidence of data loss that the
+    #: posting lists alone cannot show.
+    join_matches: int = 0
     per_stage_entries: list[int] = field(default_factory=list)
 
     @property

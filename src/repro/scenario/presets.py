@@ -1,0 +1,167 @@
+"""The shipped hostile-run matrix.
+
+Each preset composes the adversarial axes into one named, seeded run
+with calibrated SLO gates. ``HOSTILE_MATRIX`` is what
+``repro.experiments.ext_scenario`` records into ``BENCH_scenario.json``
+and what CI's scenario-matrix job re-runs against the committed
+artifact; ``smoke`` is the fast default-suite scenario.
+
+SLO bounds are calibrated against the recorded runs with headroom for
+intent, not for noise — there is no noise: identical seeds reproduce
+identical metrics bit-for-bit, so a bound only trips when a code change
+actually shifts behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.scenario.spec import (
+    ArrivalSpec,
+    ChurnSpec,
+    ScenarioSpec,
+    SloSpec,
+    WorkloadSpec,
+)
+
+#: fast smoke scenario: light uniform churn, a handful of queries —
+#: runs in the default (fast) test suite on every push
+SMOKE = ScenarioSpec(
+    name="smoke",
+    seed=11,
+    duration=20.0,
+    num_nodes=24,
+    num_files=40,
+    num_ultrapeers=4,
+    arrival=ArrivalSpec(kind="poisson", rate=2.0),
+    churn=ChurnSpec(kind="uniform", interval=6.0, steps=2, failure_fraction=0.5),
+    slo=SloSpec(min_recall=0.95, max_p95_latency=60.0, max_query_kb=64.0),
+)
+
+#: steady uniform churn under Poisson arrivals — the baseline hostile
+#: run: graceful leaves hand their keys off, so the index stays whole
+#: through continuous membership motion; the handful of queries that
+#: catch a handoff mid-race degrade explicitly instead of failing
+BASELINE_CHURN = ScenarioSpec(
+    name="baseline-churn",
+    seed=101,
+    duration=60.0,
+    arrival=ArrivalSpec(kind="poisson", rate=4.0),
+    churn=ChurnSpec(
+        kind="uniform", interval=5.0, steps=10, failure_fraction=0.0,
+        stabilize=True,
+    ),
+    slo=SloSpec(
+        min_recall=0.95, max_p95_latency=60.0, max_query_kb=64.0,
+        max_degraded_fraction=0.05,
+    ),
+)
+
+#: correlated regional failure: 25% of the ring — a contiguous arc —
+#: fails abruptly at t=15. Whole replica chains die together, and each
+#: rare query needs both its posting key and its Item key to survive,
+#: so roughly half the post-failure queries lose data: heavy recall
+#: loss is *expected*. The gates require every loss to surface as a
+#: degraded answer (silent_loss = 0), never as silent absence
+REGIONAL_FAILURE = ScenarioSpec(
+    name="regional-failure",
+    seed=211,
+    duration=60.0,
+    arrival=ArrivalSpec(kind="poisson", rate=4.0),
+    churn=ChurnSpec(kind="regional", at=15.0, fraction=0.25, failure_fraction=1.0),
+    slo=SloSpec(
+        min_recall=0.45, max_p95_latency=90.0, max_query_kb=64.0,
+        max_degraded_fraction=0.45,
+    ),
+)
+
+#: network partition + heal: a 25% arc is severed at t=15 (survivor
+#: hop delays stretch 3x) and rejoins with its data at t=40. Queries
+#: during the partition window degrade explicitly; after the heal,
+#: recall is whole again
+PARTITION_HEAL = ScenarioSpec(
+    name="partition-heal",
+    seed=307,
+    duration=60.0,
+    arrival=ArrivalSpec(kind="poisson", rate=4.0),
+    churn=ChurnSpec(
+        kind="partition", at=15.0, fraction=0.25, heal_at=40.0,
+        delay_multiplier=3.0,
+    ),
+    slo=SloSpec(
+        min_recall=0.55, max_p95_latency=120.0, max_query_kb=64.0,
+        max_degraded_fraction=0.5,
+    ),
+)
+
+#: flash crowd: a 20x arrival spike in [20,30) all asking for one item,
+#: against the shared result cache — the thundering herd inside the
+#: first Gnutella-timeout window misses (their re-queries race before
+#: any answer lands), everything after the first completion hits locally
+FLASH_CROWD = ScenarioSpec(
+    name="flash-crowd",
+    seed=401,
+    duration=60.0,
+    arrival=ArrivalSpec(
+        kind="flash_crowd", rate=2.0, flash_start=20.0, flash_duration=10.0,
+        flash_rate=20.0,
+    ),
+    cache_budget_bytes=1 << 20,
+    slo=SloSpec(
+        min_recall=0.99, max_p95_latency=60.0, max_query_kb=64.0,
+        min_cache_hit_rate=0.35,
+    ),
+)
+
+#: free riders: 40% of corpus items are never published — their hosts
+#: index nothing. Recall against the published oracle stays whole; the
+#: coverage gap records the free-riding damage honestly (those empties
+#: are clean zeros, not degraded answers)
+FREE_RIDERS = ScenarioSpec(
+    name="free-riders",
+    seed=503,
+    duration=60.0,
+    arrival=ArrivalSpec(kind="diurnal", rate=4.0, diurnal_period=60.0),
+    workload=WorkloadSpec(kind="free_riders", free_rider_fraction=0.4),
+    slo=SloSpec(
+        min_recall=0.97, max_p95_latency=60.0, max_query_kb=64.0,
+        max_degraded_fraction=0.05,
+    ),
+)
+
+#: query of death: every rare query is a 5-keyword conjunction whose
+#: terms each match ~1/4 of the corpus but jointly match exactly one
+#: file — maximal join work per answer, priced by the cost-based
+#: optimizer; the bandwidth ceiling is the gate that bites
+QUERY_OF_DEATH = ScenarioSpec(
+    name="query-of-death",
+    seed=601,
+    duration=60.0,
+    num_files=128,
+    arrival=ArrivalSpec(kind="poisson", rate=3.0),
+    workload=WorkloadSpec(kind="query_of_death", qod_families=5, family_size=4),
+    optimizer=True,
+    slo=SloSpec(min_recall=0.97, max_p95_latency=90.0, max_query_kb=512.0),
+)
+
+#: every shipped scenario by name (smoke included)
+SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        SMOKE,
+        BASELINE_CHURN,
+        REGIONAL_FAILURE,
+        PARTITION_HEAL,
+        FLASH_CROWD,
+        FREE_RIDERS,
+        QUERY_OF_DEATH,
+    )
+}
+
+#: the hostile runs recorded in BENCH_scenario.json and gated by CI
+HOSTILE_MATRIX = (
+    BASELINE_CHURN.name,
+    REGIONAL_FAILURE.name,
+    PARTITION_HEAL.name,
+    FLASH_CROWD.name,
+    FREE_RIDERS.name,
+    QUERY_OF_DEATH.name,
+)

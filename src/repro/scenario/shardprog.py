@@ -1,0 +1,141 @@
+"""Scenario schedules replayed through the ring-sharded kernel.
+
+The scenario runner executes a compiled schedule against one full
+in-process world. This module replays the *same* compiled schedule
+across :func:`repro.sim.shard.run_sharded` shards instead: each shard
+owns the query events of its ultrapeers (``ultrapeer % num_shards``),
+routes every term lookup to the shard owning that term's posting key
+(:func:`shard_of_key` over the same table-qualified keys the DHT uses),
+and answers flow back as cross-shard messages. The merged digest — a
+multiset of lookup/answer counts per term — is invariant across shard
+counts and backends, which is what the determinism tests pin down, and
+the process backend gives the worker-loss failure path a realistic
+mid-scenario workload to die under.
+
+Everything here must survive a trip through a pipe: the factory is a
+:func:`functools.partial` over a module-level builder, and specs are
+frozen dataclasses of primitives.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from functools import partial
+
+from repro.common.ids import hash_key
+from repro.common.rng import make_rng, spawn_rng
+from repro.scenario.engine import compile_schedule
+from repro.scenario.spec import ScenarioSpec
+from repro.scenario.workloads import build_corpus
+from repro.sim.shard import (
+    ShardContext,
+    ShardProgram,
+    ShardRunReport,
+    run_sharded,
+    shard_of_key,
+)
+
+#: posting table the replay keys lookups by — matches the publisher's
+#: ``hash_key(f"{table}|{term}")`` scheme so shard placement mirrors
+#: where the real DHT would send each read
+POSTING_TABLE = "Inverted"
+
+
+class ScheduleReplayProgram(ShardProgram):
+    """One shard's slice of a compiled scenario schedule.
+
+    ``start`` compiles the schedule and corpus from the spec alone
+    (both are deterministic in ``spec.seed``, so every shard derives an
+    identical view without any coordination), seeds this shard's query
+    events, and tallies the fault events once on shard 0. Each query
+    fans one ``lookup`` message out per term to the posting key's owner
+    shard; owners count the hit and answer back to the querying shard.
+    """
+
+    def __init__(self, shard_id: int, num_shards: int, rng: random.Random,
+                 spec: ScenarioSpec):
+        self.shard_id = shard_id
+        self.num_shards = num_shards
+        self.rng = rng
+        self.spec = spec
+        self.counts: Counter = Counter()
+
+    def start(self, ctx: ShardContext) -> None:
+        schedule = compile_schedule(self.spec)
+        corpus = build_corpus(
+            self.spec.workload,
+            self.spec.num_files,
+            spawn_rng(make_rng(self.spec.seed), "corpus"),
+        )
+        for event in schedule.events:
+            if event.kind != "query":
+                # Fault events are global: tally them exactly once.
+                if self.shard_id == 0:
+                    self.counts[("fault", event.kind)] += 1
+                continue
+            if event.ultrapeer % self.num_shards != self.shard_id:
+                continue
+            terms = corpus[event.item].terms
+            ctx.schedule(event.at, partial(self._issue, ctx, terms))
+
+    def _issue(self, ctx: ShardContext, terms: tuple[str, ...]) -> None:
+        for term in terms:
+            key = hash_key(f"{POSTING_TABLE}|{term}")
+            dst = shard_of_key(key, self.num_shards)
+            ctx.send(dst, ctx.lookahead, ("lookup", term, self.shard_id))
+
+    def on_message(self, ctx: ShardContext, payload: tuple) -> None:
+        kind, term, *rest = payload
+        self.counts[(kind, term)] += 1
+        if kind == "lookup":
+            ctx.send(rest[0], ctx.lookahead, ("answer", term))
+
+    def digest(self) -> tuple:
+        return tuple(sorted(self.counts.items()))
+
+
+def _build_replay_program(
+    shard_id: int,
+    num_shards: int,
+    rng: random.Random,
+    spec: ScenarioSpec,
+    program_cls: type = ScheduleReplayProgram,
+) -> ShardProgram:
+    return program_cls(shard_id, num_shards, rng, spec)
+
+
+def replay_factory(spec: ScenarioSpec, program_cls: type = ScheduleReplayProgram):
+    """A picklable ``run_sharded`` factory replaying ``spec``'s schedule.
+
+    ``program_cls`` lets failure-path tests substitute a program that
+    dies mid-run while keeping the same picklable shape.
+    """
+    return partial(_build_replay_program, spec=spec, program_cls=program_cls)
+
+
+def run_schedule_replay(
+    spec: ScenarioSpec,
+    num_shards: int,
+    lookahead: float = 1.0,
+    backend: str = "round_robin",
+    until: float | None = None,
+) -> ShardRunReport:
+    """Replay ``spec``'s compiled schedule across ``num_shards`` shards."""
+    return run_sharded(
+        replay_factory(spec),
+        num_shards,
+        lookahead,
+        seed=spec.seed,
+        backend=backend,
+        until=until,
+    )
+
+
+def merged_digest(report: ShardRunReport) -> tuple:
+    """Merge per-shard digests into one shard-count-invariant multiset."""
+    total: Counter = Counter()
+    for digest in report.digests():
+        if digest:
+            total.update(dict(digest))
+    return tuple(sorted(total.items()))

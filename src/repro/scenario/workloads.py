@@ -1,0 +1,87 @@
+"""Scenario corpora: what gets shared, published, and asked for.
+
+Each builder returns :class:`ScenarioItem` records whose ``terms`` are
+exactly the keywords a leaf query uses to find the item (and which the
+publisher indexes from the filename — terms survive
+:func:`repro.piersearch.tokenizer.extract_keywords` untouched).
+
+* **standard** — the rare-item corpus the engine benchmarks use: every
+  file carries a unique ``trackNNNN`` keyword plus the shared
+  ``nebula``, so each rare query is a two-term join with exactly one
+  answer.
+* **free_riders** — same corpus, but a seeded fraction of items is never
+  published: their hosts share nothing into the index, so the DHT
+  honestly has nothing. Recall is measured against the *published*
+  oracle; coverage against the full one records the free-riding damage.
+* **query_of_death** — every file's name is a conjunction of one value
+  from each of N keyword families (mixed-radix encoding of the file
+  index), so each individual term matches about ``num_files /
+  family_size`` files while the full N-way conjunction matches exactly
+  one: per-answer join work is maximal, the worst case for the
+  distributed query processor.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.scenario.spec import WorkloadSpec
+
+#: terms of a popular leaf query — replicas sit within the flood horizon
+POPULAR_TERMS = ("popular", "hit")
+#: overlay depths of the popular replicas (all within stop TTL 3)
+POPULAR_DEPTHS = (1.0, 2.0, 2.0)
+
+#: keyword families for query-of-death conjunctions (first ``qod_families``
+#: are used; capped at 8 families by spec validation in practice)
+QOD_FAMILIES = (
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioItem:
+    """One corpus file: its name, its query terms, and whether its host
+    actually publishes it into the DHT index."""
+
+    index: int
+    filename: str
+    terms: tuple[str, ...]
+    published: bool
+
+
+def build_corpus(
+    spec: WorkloadSpec, num_files: int, rng: random.Random
+) -> list[ScenarioItem]:
+    """The corpus for one scenario, deterministic in ``rng``'s seed."""
+    if spec.kind == "query_of_death":
+        families = QOD_FAMILIES[: spec.qod_families]
+        items = []
+        for index in range(num_files):
+            terms = tuple(
+                f"{family}{(index // spec.family_size**position) % spec.family_size:02d}"
+                for position, family in enumerate(families)
+            )
+            items.append(
+                ScenarioItem(
+                    index=index,
+                    filename=" ".join(terms) + ".mp3",
+                    terms=terms,
+                    published=True,
+                )
+            )
+        return items
+    free: set[int] = set()
+    if spec.kind == "free_riders":
+        count = int(num_files * spec.free_rider_fraction)
+        free = set(rng.sample(range(num_files), count))
+    return [
+        ScenarioItem(
+            index=index,
+            filename=f"rare track{index:04d} nebula.mp3",
+            terms=(f"track{index:04d}", "nebula"),
+            published=index not in free,
+        )
+        for index in range(num_files)
+    ]

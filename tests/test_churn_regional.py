@@ -1,0 +1,108 @@
+"""Correlated regional leave: exactly-once handoff regression (satellite).
+
+``regional_leave`` removes its arc in *reverse* ring order. These tests
+pin the two properties that ordering buys: every handed-off value is
+released (and charged) exactly once, and a graceful victim's keys can
+never be swallowed by an abrupt neighbour later in the same arc.
+"""
+
+from repro.common.errors import KeyNotFoundError
+from repro.common.rng import make_rng
+from repro.common.units import MessageCost
+from repro.dht.churn import ChurnProcess
+from repro.dht.network import DhtNetwork, hash_key
+
+NUM_NODES = 32
+NUM_KEYS = 80
+ARC = 8
+
+
+def build(seed=5):
+    network = DhtNetwork(rng=make_rng(seed), replication=1)
+    network.populate(NUM_NODES)
+    for i in range(NUM_KEYS):
+        network.put(f"k-{i}", f"v-{i}")
+    return network
+
+
+def arc_nodes(network):
+    ring = sorted(network.nodes)
+    return ring[4 : 4 + ARC]
+
+
+def stored_values(network, node_id):
+    return [
+        (key, value)
+        for _, key, values in network.stored_items(node_id)
+        for value in values
+    ]
+
+
+def handoff_messages(network):
+    return network.meter.by_category.get("dht.handoff", MessageCost(0, 0)).messages
+
+
+def test_graceful_regional_leave_hands_off_each_value_exactly_once():
+    network = build()
+    arc = arc_nodes(network)
+    stored = sum(len(stored_values(network, node)) for node in arc)
+    assert stored > 0
+    before = handoff_messages(network)
+    churn = ChurnProcess(network, make_rng(1), failure_fraction=0.0)
+    victims = churn.regional_leave(ARC, start_key=arc[0])
+    assert [node for node, _ in victims] == arc
+    assert all(graceful for _, graceful in victims)
+    # One handoff message per stored value: no victim-to-victim cascade.
+    assert handoff_messages(network) - before == stored
+    # Nothing lost, nothing suspect.
+    assert not network.suspect_ranges
+    for i in range(NUM_KEYS):
+        assert f"v-{i}" in network.get_raw(hash_key(f"k-{i}"))
+
+
+def test_forward_order_removal_would_cascade_handoffs():
+    """The regression baseline: front-to-back removal re-hands keys."""
+    network = build()
+    arc = arc_nodes(network)
+    stored = sum(len(stored_values(network, node)) for node in arc)
+    before = handoff_messages(network)
+    for node in arc:
+        network.remove_node(node, graceful=True)
+    network.stabilize()
+    # Keys cascade victim-to-victim, so the same departure set charges
+    # strictly more handoff traffic than the exactly-once reverse order.
+    assert handoff_messages(network) - before > stored
+
+
+def test_abrupt_regional_failure_hands_off_nothing_but_marks_suspects():
+    network = build()
+    arc = arc_nodes(network)
+    before = handoff_messages(network)
+    churn = ChurnProcess(network, make_rng(1))
+    victims = churn.regional_leave(ARC, start_key=arc[0], failure_fraction=1.0)
+    assert all(not graceful for _, graceful in victims)
+    assert handoff_messages(network) == before
+    assert network.suspect_ranges
+
+
+def test_graceful_victims_keys_survive_mixed_arc():
+    """An abrupt victim late in the arc must not swallow graceful keys."""
+    network = build()
+    arc = arc_nodes(network)
+    snapshots = {node: stored_values(network, node) for node in arc}
+    churn = ChurnProcess(network, make_rng(3))
+    victims = churn.regional_leave(ARC, start_key=arc[0], failure_fraction=0.5)
+    kinds = {graceful for _, graceful in victims}
+    assert kinds == {True, False}  # genuinely mixed arc
+    for node, graceful in victims:
+        if not graceful:
+            continue
+        for key, value in snapshots[node]:
+            try:
+                values = network.get_raw(key)
+            except KeyNotFoundError:
+                values = []
+            assert value in values, (
+                f"graceful victim {node:x} lost value {value!r} "
+                f"under key {key:x}"
+            )

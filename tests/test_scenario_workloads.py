@@ -1,0 +1,55 @@
+"""Scenario corpora: term structure, free-rider sampling, QoD joins."""
+
+from collections import Counter
+
+from repro.common.rng import make_rng
+from repro.piersearch.tokenizer import extract_keywords
+from repro.scenario import WorkloadSpec, build_corpus
+
+
+def test_standard_corpus_terms_and_publication():
+    items = build_corpus(WorkloadSpec(kind="standard"), 40, make_rng(1))
+    assert len(items) == 40
+    assert all(item.published for item in items)
+    assert items[7].terms == ("track0007", "nebula")
+    # Terms must survive the publish-side tokenizer untouched, or the
+    # oracle would diverge from what the index actually stores.
+    for item in items:
+        assert set(item.terms) <= set(extract_keywords(item.filename))
+
+
+def test_free_riders_fraction_and_determinism():
+    spec = WorkloadSpec(kind="free_riders", free_rider_fraction=0.4)
+    items = build_corpus(spec, 100, make_rng(5))
+    unpublished = [item.index for item in items if not item.published]
+    assert len(unpublished) == 40
+    # Same seed, same free riders; different seed, different sample.
+    again = build_corpus(spec, 100, make_rng(5))
+    assert [i.published for i in again] == [i.published for i in items]
+    other = build_corpus(spec, 100, make_rng(6))
+    assert [i.published for i in other] != [i.published for i in items]
+
+
+def test_query_of_death_each_conjunction_matches_exactly_one_file():
+    spec = WorkloadSpec(kind="query_of_death", qod_families=5, family_size=4)
+    items = build_corpus(spec, 128, make_rng(2))
+    seen = Counter(item.terms for item in items)
+    assert len(seen) == 128  # all conjunctions distinct
+    assert all(count == 1 for count in seen.values())
+    assert all(len(item.terms) == 5 for item in items)
+
+
+def test_query_of_death_terms_individually_common():
+    spec = WorkloadSpec(kind="query_of_death", qod_families=5, family_size=4)
+    items = build_corpus(spec, 128, make_rng(2))
+    posting: Counter = Counter()
+    for item in items:
+        for term in item.terms:
+            posting[term] += 1
+    # Mixed-radix encoding: each family value covers ~1/family_size of
+    # the corpus (the last, partially-filled digit position aside).
+    assert posting[items[0].terms[0]] == 128 // 4
+    assert max(posting.values()) >= 128 // 4
+    # Every term is a single tokenizer-stable keyword.
+    for term in posting:
+        assert extract_keywords(term) == [term]
